@@ -1,0 +1,60 @@
+// Command iddbench regenerates the paper's evaluation: Tables 4-7 and
+// Figures 11-13 (§8), printed as text. Budgets are scaled down from the
+// paper's hours; raise them with -exact / -local for higher-fidelity
+// runs.
+//
+// Usage:
+//
+//	iddbench                  # everything, default budgets
+//	iddbench -only table5 -exact 30s
+//	iddbench -only fig12 -local 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/experiments"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "run one experiment: table4|table5|table6|table7|fig11|fig11x|fig12|fig13")
+		exact = flag.Duration("exact", 3*time.Second, "budget per exact-search cell (Tables 5/6)")
+		lcl   = flag.Duration("local", 0, "budget per anytime curve (0 = 8s TPC-H, 20s TPC-DS)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{ExactBudget: *exact, LocalBudget: *lcl, Seed: *seed}
+	w := os.Stdout
+
+	run := func(name string, f func()) {
+		if *only != "" && *only != name {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Fprintf(w, "[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table4", func() { experiments.Table4(w) })
+	run("table5", func() {
+		experiments.FprintExactCells(w, "Table 5: Exact Search (Reduced TPC-H)", experiments.RunTable5(cfg))
+	})
+	run("table6", func() {
+		experiments.FprintExactCells(w, "Table 6: Pruning Power Drill-Down (Reduced TPC-H)", experiments.RunTable6(cfg))
+	})
+	run("table7", func() { experiments.FprintTable7(w, experiments.RunTable7(cfg)) })
+	run("fig11", func() {
+		experiments.FprintAnytime(w, "Figure 11: Local Search (TPC-H), objective vs elapsed", experiments.RunFigure11(cfg))
+	})
+	run("fig11x", func() {
+		experiments.FprintAnytime(w, "Figure 11 extended: + simulated annealing and insertion descent", experiments.RunFigure11Extended(cfg))
+	})
+	run("fig12", func() {
+		experiments.FprintAnytime(w, "Figure 12: Local Search (TPC-DS), objective vs elapsed", experiments.RunFigure12(cfg))
+	})
+	run("fig13", func() { experiments.FprintFigure13(w, experiments.RunFigure13(cfg)) })
+}

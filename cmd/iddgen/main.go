@@ -1,0 +1,81 @@
+// Command iddgen generates index-deployment-ordering problem instances
+// ("matrix files") from the built-in TPC-H / TPC-DS pipelines or the
+// synthetic generator, and writes them as JSON or compact text.
+//
+// Usage:
+//
+//	iddgen -dataset tpch -o tpch.json
+//	iddgen -dataset tpcds -o tpcds.txt
+//	iddgen -dataset tpch -reduce 13 -density low -o tpch13.json
+//	iddgen -dataset synthetic -indexes 40 -queries 30 -seed 7 -o rand.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/evolving-olap/idd/internal/codec"
+	"github.com/evolving-olap/idd/internal/datasets"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch", "tpch | tpcds | synthetic")
+		out     = flag.String("o", "", "output file (.json or text; default stdout as text)")
+		reduce  = flag.Int("reduce", 0, "restrict to the first N indexes (0 = all)")
+		density = flag.String("density", "full", "interaction density for -reduce: low | mid | full")
+		indexes = flag.Int("indexes", 20, "synthetic: number of indexes")
+		queries = flag.Int("queries", 15, "synthetic: number of queries")
+		seed    = flag.Int64("seed", 1, "synthetic: random seed")
+	)
+	flag.Parse()
+
+	var in *model.Instance
+	switch *dataset {
+	case "tpch":
+		in = datasets.TPCH()
+	case "tpcds":
+		in = datasets.TPCDS()
+	case "synthetic":
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = *indexes
+		cfg.Queries = *queries
+		in = randgen.New(rand.New(rand.NewSource(*seed)), cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "iddgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	if *reduce > 0 {
+		var d datasets.Density
+		switch *density {
+		case "low":
+			d = datasets.Low
+		case "mid":
+			d = datasets.Mid
+		case "full":
+			d = datasets.Full
+		default:
+			fmt.Fprintf(os.Stderr, "iddgen: unknown density %q\n", *density)
+			os.Exit(2)
+		}
+		in = datasets.Reduce(in, *reduce, d)
+	}
+
+	if *out == "" {
+		if err := codec.WriteText(os.Stdout, in); err != nil {
+			fmt.Fprintf(os.Stderr, "iddgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := codec.SaveFile(*out, in); err != nil {
+		fmt.Fprintf(os.Stderr, "iddgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "iddgen: wrote %s (%v)\n", *out, in.Stats())
+}

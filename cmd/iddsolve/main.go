@@ -1,0 +1,153 @@
+// Command iddsolve computes an index deployment order for a matrix file
+// with a chosen method and prints the order, objective, and improvement
+// curve.
+//
+// Usage:
+//
+//	iddsolve -method vns -budget 30s tpch.json
+//	iddsolve -method cp -budget 60s -prune tpch13.json
+//	iddsolve -method greedy tpcds.json
+//
+// Methods: greedy, dp, cp, astar, mip, bruteforce, tabu-b, tabu-f, lns,
+// vns, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/codec"
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/prune"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/astar"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+	"github.com/evolving-olap/idd/internal/solver/dp"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/local"
+	"github.com/evolving-olap/idd/internal/solver/mip"
+)
+
+func main() {
+	var (
+		method   = flag.String("method", "vns", "solution method")
+		budget   = flag.Duration("budget", 10*time.Second, "time budget for search methods")
+		usePrune = flag.Bool("prune", true, "run the §5 analysis and add its constraints")
+		seed     = flag.Int64("seed", 1, "random seed for local search")
+		curve    = flag.Bool("curve", false, "print the per-step improvement curve")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iddsolve [flags] <instance file>")
+		os.Exit(2)
+	}
+	in, err := codec.LoadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	c, err := model.Compile(in)
+	if err != nil {
+		fail(err)
+	}
+
+	cs := sched.PrecedenceSet(in)
+	if *usePrune {
+		start := time.Now()
+		var rep prune.Report
+		cs, rep = prune.Analyze(c, prune.Options{})
+		fmt.Fprintf(os.Stderr, "analysis (%v): %v\n", time.Since(start).Round(time.Millisecond), rep)
+	}
+
+	start := time.Now()
+	order, note := solve(c, cs, *method, *budget, *seed)
+	elapsed := time.Since(start)
+
+	obj, deploy, final := c.Evaluate(order)
+	fmt.Printf("method:      %s%s\n", *method, note)
+	fmt.Printf("elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("objective:   %.2f\n", obj)
+	fmt.Printf("deploy time: %.2f\n", deploy)
+	fmt.Printf("runtime:     %.2f -> %.2f\n", c.Base, final)
+	fmt.Printf("order:\n")
+	for k, ix := range order {
+		fmt.Printf("  %3d. %s\n", k+1, in.Indexes[ix].Name)
+	}
+	if *curve {
+		fmt.Println("improvement curve (elapsed, runtime):")
+		for _, pt := range c.Curve(order) {
+			fmt.Printf("  %10.2f %10.2f  (+%s)\n", pt.Elapsed, pt.Runtime, in.Indexes[pt.Index].Name)
+		}
+	}
+}
+
+func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Duration, seed int64) ([]int, string) {
+	rng := rand.New(rand.NewSource(seed))
+	lopt := func() local.Options {
+		return local.Options{
+			Initial: greedy.Solve(c, cs),
+			Budget:  budget,
+			Rng:     rng,
+		}
+	}
+	switch method {
+	case "greedy":
+		return greedy.Solve(c, cs), ""
+	case "dp":
+		return dp.Solve(c), ""
+	case "random":
+		return sched.RandomFeasible(rng, cs), ""
+	case "bruteforce":
+		res, err := bruteforce.Solve(c, cs, true)
+		if err != nil {
+			fail(err)
+		}
+		return res.Order, " (proved optimal)"
+	case "astar":
+		res, err := astar.Solve(c, cs, astar.Options{})
+		if err != nil {
+			fail(err)
+		}
+		return res.Order, provedNote(res.Proved)
+	case "cp":
+		res := cp.Solve(c, cs, cp.Options{
+			Deadline:  time.Now().Add(budget),
+			Incumbent: greedy.Solve(c, cs),
+		})
+		return res.Order, provedNote(res.Proved)
+	case "mip":
+		res, err := mip.Solve(c, cs, mip.Options{Deadline: time.Now().Add(budget)})
+		if err != nil {
+			fail(err)
+		}
+		return res.Order, provedNote(res.Proved) + fmt.Sprintf(" [%d vars, %d rows]", res.Vars, res.Rows)
+	case "tabu-b":
+		return local.TabuBSwap(c, cs, lopt()).Order, ""
+	case "tabu-f":
+		return local.TabuFSwap(c, cs, lopt()).Order, ""
+	case "lns":
+		return local.LNS(c, cs, lopt()).Order, ""
+	case "vns":
+		return local.VNS(c, cs, lopt()).Order, ""
+	default:
+		fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q\n", method)
+		os.Exit(2)
+		return nil, ""
+	}
+}
+
+func provedNote(p bool) string {
+	if p {
+		return " (proved optimal)"
+	}
+	return " (best found, no proof)"
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "iddsolve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package idd is a reproduction of "Optimizing Index Deployment Order
+// for Evolving OLAP" (Kimura, Coffrin, Rasin, Zdonik — EDBT 2012): a
+// library and toolset for scheduling the deployment of database indexes
+// so that query workloads speed up as early as possible and the total
+// deployment finishes as fast as possible.
+//
+// The public surface lives in the commands (cmd/iddgen, cmd/iddsolve,
+// cmd/iddinspect, cmd/iddbench) and the internal packages; see README.md
+// for the architecture overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured evaluation.
+package idd

@@ -1,0 +1,98 @@
+// Evolving warehouse: the paper's Incremental Database Design vision
+// (§1.1, Figure 1) end to end. A warehouse lives through three business
+// eras — launch analytics, a customer-segmentation push, and a regional
+// reorganization — and each era the driver proposes a design, drops what
+// the new workload no longer needs, and deploys the delta in optimized
+// order.
+//
+//	go run ./examples/evolving_warehouse
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/evolving-olap/idd/internal/advisor"
+	"github.com/evolving-olap/idd/internal/evolve"
+	"github.com/evolving-olap/idd/internal/sql"
+)
+
+func cr(t, c string) sql.ColRef { return sql.ColRef{Table: t, Column: c} }
+
+func main() {
+	schema := &sql.Schema{
+		Name: "shop",
+		Tables: []*sql.Table{
+			{Name: "orders", Rows: 10_000_000, Columns: []sql.Column{
+				{Name: "order_id", Distinct: 10_000_000, Width: 8},
+				{Name: "cust_id", Distinct: 800_000, Width: 8},
+				{Name: "day", Distinct: 1_500, Width: 4},
+				{Name: "status", Distinct: 6, Width: 4},
+				{Name: "region", Distinct: 40, Width: 4},
+				{Name: "total", Distinct: 100_000, Width: 8},
+			}},
+			{Name: "customers", Rows: 800_000, Columns: []sql.Column{
+				{Name: "cust_id", Distinct: 800_000, Width: 8},
+				{Name: "segment", Distinct: 10, Width: 4},
+				{Name: "signup_day", Distinct: 2_000, Width: 4},
+			}},
+		},
+	}
+
+	era1 := []*sql.Query{{
+		Name:   "daily_status",
+		Tables: []string{"orders"},
+		Predicates: []sql.Predicate{
+			{Col: cr("orders", "day"), Kind: sql.Range, Selectivity: 0.01},
+			{Col: cr("orders", "status"), Kind: sql.Eq, Selectivity: 0.17},
+		},
+		Select: []sql.ColRef{cr("orders", "total")},
+	}}
+	era2 := append(era1[:1:1], &sql.Query{
+		Name:   "segment_value",
+		Tables: []string{"orders", "customers"},
+		Predicates: []sql.Predicate{
+			{Col: cr("customers", "segment"), Kind: sql.Eq, Selectivity: 0.1},
+		},
+		Joins:   []sql.Join{{Left: cr("orders", "cust_id"), Right: cr("customers", "cust_id")}},
+		GroupBy: []sql.ColRef{cr("customers", "segment")},
+		Select:  []sql.ColRef{cr("orders", "total")},
+	})
+	era3 := []*sql.Query{{
+		Name:   "region_rollup",
+		Tables: []string{"orders"},
+		Predicates: []sql.Predicate{
+			{Col: cr("orders", "region"), Kind: sql.Eq, Selectivity: 1.0 / 40},
+		},
+		GroupBy: []sql.ColRef{cr("orders", "region")},
+		Select:  []sql.ColRef{cr("orders", "total")},
+	}}
+
+	steps, err := evolve.Run([]evolve.Round{
+		{Name: "launch", Schema: schema, Queries: era1},
+		{Name: "segmentation-push", Schema: schema, Queries: era2},
+		{Name: "regional-reorg", Schema: schema, Queries: era3},
+	}, evolve.Options{
+		Advisor:    advisor.Options{MaxIndexes: 6},
+		OrderSteps: 20000,
+		Rng:        rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	for _, st := range steps {
+		fmt.Printf("=== era %q ===\n", st.Round)
+		fmt.Printf("workload runtime: %.0f -> %.0f\n", st.RuntimeBefore, st.RuntimeAfter)
+		for _, d := range st.Dropped {
+			fmt.Printf("  drop   %s\n", d.Name())
+		}
+		for k, d := range st.Deployed {
+			fmt.Printf("  deploy %d. %s\n", k+1, d.Name())
+		}
+		if len(st.Deployed) == 0 && len(st.Dropped) == 0 {
+			fmt.Println("  (design already optimal for this workload)")
+		}
+		fmt.Println()
+	}
+}

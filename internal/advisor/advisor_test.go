@@ -1,0 +1,204 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/dbsim"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/sql"
+	"github.com/evolving-olap/idd/internal/tpch"
+)
+
+func miniSchema() *sql.Schema {
+	return &sql.Schema{
+		Name: "mini",
+		Tables: []*sql.Table{
+			{Name: "fact", Rows: 500_000, Columns: []sql.Column{
+				{Name: "id", Distinct: 500_000, Width: 8},
+				{Name: "dim_id", Distinct: 1_000, Width: 8},
+				{Name: "day", Distinct: 365, Width: 4},
+				{Name: "amount", Distinct: 10_000, Width: 8},
+			}},
+			{Name: "dim", Rows: 1_000, Columns: []sql.Column{
+				{Name: "dim_id", Distinct: 1_000, Width: 8},
+				{Name: "kind", Distinct: 10, Width: 8},
+			}},
+		},
+	}
+}
+
+func miniQueries() []*sql.Query {
+	return []*sql.Query{
+		{
+			Name:   "daily",
+			Tables: []string{"fact"},
+			Predicates: []sql.Predicate{
+				{Col: sql.ColRef{Table: "fact", Column: "day"}, Kind: sql.Eq, Selectivity: 1.0 / 365},
+			},
+			Select: []sql.ColRef{{Table: "fact", Column: "amount"}},
+		},
+		{
+			Name:   "by_kind",
+			Tables: []string{"fact", "dim"},
+			Predicates: []sql.Predicate{
+				{Col: sql.ColRef{Table: "dim", Column: "kind"}, Kind: sql.Eq, Selectivity: 0.1},
+			},
+			Joins: []sql.Join{{
+				Left:  sql.ColRef{Table: "fact", Column: "dim_id"},
+				Right: sql.ColRef{Table: "dim", Column: "dim_id"},
+			}},
+			GroupBy: []sql.ColRef{{Table: "dim", Column: "kind"}},
+			Select:  []sql.ColRef{{Table: "fact", Column: "amount"}},
+		},
+	}
+}
+
+func TestCandidatesCoverExpectedShapes(t *testing.T) {
+	s := miniSchema()
+	cands := Candidates(s, miniQueries(), Options{})
+	byName := map[string]bool{}
+	for _, c := range cands {
+		if err := c.Validate(s); err != nil {
+			t.Fatalf("invalid candidate: %v", err)
+		}
+		byName[c.Name()] = true
+	}
+	for _, want := range []string{
+		"ix_fact_day",    // predicate index
+		"ix_fact_dim_id", // join-column index
+		"ix_dim_kind",    // dim predicate index
+	} {
+		if !byName[want] {
+			t.Errorf("missing expected candidate %s (have %v)", want, names(cands))
+		}
+	}
+	// Covering variant of the predicate index must exist.
+	found := false
+	for n := range byName {
+		if strings.HasPrefix(n, "ix_fact_day_inc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing covering candidate for ix_fact_day")
+	}
+}
+
+func names(cands []dbsim.IndexDef) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+func TestNoCoveringOption(t *testing.T) {
+	cands := Candidates(miniSchema(), miniQueries(), Options{NoCovering: true})
+	for _, c := range cands {
+		if len(c.Include) > 0 {
+			t.Fatalf("covering candidate generated despite NoCovering: %s", c.Name())
+		}
+	}
+}
+
+func TestSelectRanksByDensityAndCaps(t *testing.T) {
+	s := miniSchema()
+	sim := dbsim.New(s)
+	cands := Candidates(s, miniQueries(), Options{})
+	sel2 := Select(sim, miniQueries(), cands, Options{MaxIndexes: 2})
+	if len(sel2) != 2 {
+		t.Fatalf("cap ignored: %d", len(sel2))
+	}
+	all := Select(sim, miniQueries(), cands, Options{})
+	if len(all) < len(sel2) {
+		t.Fatal("uncapped selection smaller than capped")
+	}
+	// The top selection must be a beneficial index.
+	var benefit float64
+	avail := make([]bool, len(all))
+	for i, d := range all {
+		if d.Equal(sel2[0]) {
+			avail[i] = true
+		}
+	}
+	for _, q := range miniQueries() {
+		no := sim.NoIndexCost(q, all)
+		benefit += no - sim.BestPlan(q, all, avail).Cost
+	}
+	if benefit <= 0 {
+		t.Error("top-ranked index has no benefit")
+	}
+}
+
+func TestBuildInstanceEndToEnd(t *testing.T) {
+	in, kept, err := BuildInstance("mini", miniSchema(), miniQueries(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != in.N() {
+		t.Fatalf("defs (%d) not parallel to instance indexes (%d)", len(kept), in.N())
+	}
+	if len(in.Plans) == 0 {
+		t.Fatal("no plans extracted")
+	}
+	// Every index appears in at least one plan (never-used are dropped).
+	used := make([]bool, in.N())
+	for _, p := range in.Plans {
+		for _, ix := range p.Indexes {
+			used[ix] = true
+		}
+	}
+	for i, u := range used {
+		if !u {
+			t.Errorf("index %d (%s) used by no plan", i, in.Indexes[i].Name)
+		}
+	}
+	// Speedups must be consistent: no plan speedup exceeds its query's
+	// runtime (Validate checks this, but assert explicitly for clarity).
+	for _, p := range in.Plans {
+		if p.Speedup > in.Queries[p.Query].Runtime {
+			t.Errorf("plan speedup %v > runtime %v", p.Speedup, in.Queries[p.Query].Runtime)
+		}
+	}
+}
+
+func TestExtractErrorsWhenNothingHelps(t *testing.T) {
+	s := miniSchema()
+	sim := dbsim.New(s)
+	// A design of one useless index (no query filters on amount).
+	design := []dbsim.IndexDef{{Table: "dim", Key: []string{"dim_id"}}}
+	q := []*sql.Query{{
+		Name:   "scan_only",
+		Tables: []string{"fact"},
+		Select: []sql.ColRef{{Table: "fact", Column: "amount"}},
+	}}
+	if _, _, err := Extract("x", sim, q, design, Options{}); err == nil {
+		t.Fatal("expected error for a design that helps nothing")
+	}
+}
+
+func TestTPCHBuildIsDeterministic(t *testing.T) {
+	a, _, err := BuildInstance("tpch", tpch.Schema(), tpch.Queries(), Options{MaxIndexes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := BuildInstance("tpch", tpch.Schema(), tpch.Queries(), Options{MaxIndexes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("nondeterministic: %v vs %v", a.Stats(), b.Stats())
+	}
+	ca, cb := model.MustCompile(a), model.MustCompile(b)
+	order := make([]int, a.N())
+	for i := range order {
+		order[i] = i
+	}
+	if ca.Objective(order) != cb.Objective(order) {
+		t.Fatal("objective differs between builds")
+	}
+}

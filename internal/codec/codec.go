@@ -1,0 +1,264 @@
+// Package codec reads and writes problem instances — the paper's "matrix
+// file" produced by what-if analysis (Figure 3). Two formats are
+// supported: JSON (self-describing, the default interchange format) and a
+// compact line-oriented text format convenient for hand-editing small
+// instances and for diffing.
+//
+// Text format, one record per line, '#' comments:
+//
+//	instance NAME
+//	index NAME CREATE_COST [table=T] [cols=a,b,c] [include=d,e]
+//	query NAME RUNTIME [weight=W]
+//	plan QUERY_NAME SPEEDUP INDEX_NAME[,INDEX_NAME...]
+//	build TARGET_NAME HELPER_NAME SPEEDUP
+//	prec BEFORE_NAME AFTER_NAME
+package codec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// WriteJSON writes the instance as indented JSON.
+func WriteJSON(w io.Writer, in *model.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadJSON parses an instance from JSON and validates it.
+func ReadJSON(r io.Reader) (*model.Instance, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in model.Instance
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("codec: parse json: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: invalid instance: %w", err)
+	}
+	return &in, nil
+}
+
+// SaveFile writes the instance to path; format is chosen by extension
+// (.json => JSON, anything else => text).
+func SaveFile(path string, in *model.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if err := WriteJSON(f, in); err != nil {
+			return err
+		}
+	} else if err := WriteText(f, in); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an instance from path; format chosen by extension.
+func LoadFile(path string) (*model.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return ReadJSON(f)
+	}
+	return ReadText(f)
+}
+
+// WriteText writes the compact text format.
+func WriteText(w io.Writer, in *model.Instance) error {
+	bw := bufio.NewWriter(w)
+	if in.Name != "" {
+		fmt.Fprintf(bw, "instance %s\n", in.Name)
+	}
+	for _, ix := range in.Indexes {
+		fmt.Fprintf(bw, "index %s %g", ix.Name, ix.CreateCost)
+		if ix.Table != "" {
+			fmt.Fprintf(bw, " table=%s", ix.Table)
+		}
+		if len(ix.Columns) > 0 {
+			fmt.Fprintf(bw, " cols=%s", strings.Join(ix.Columns, ","))
+		}
+		if len(ix.Include) > 0 {
+			fmt.Fprintf(bw, " include=%s", strings.Join(ix.Include, ","))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, q := range in.Queries {
+		fmt.Fprintf(bw, "query %s %g", q.Name, q.Runtime)
+		if q.Weight != 0 && q.Weight != 1 {
+			fmt.Fprintf(bw, " weight=%g", q.Weight)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, p := range in.Plans {
+		names := make([]string, len(p.Indexes))
+		for k, ix := range p.Indexes {
+			names[k] = in.Indexes[ix].Name
+		}
+		fmt.Fprintf(bw, "plan %s %g %s\n", in.Queries[p.Query].Name, p.Speedup, strings.Join(names, ","))
+	}
+	for _, b := range in.BuildInteractions {
+		fmt.Fprintf(bw, "build %s %s %g\n", in.Indexes[b.Target].Name, in.Indexes[b.Helper].Name, b.Speedup)
+	}
+	for _, pr := range in.Precedences {
+		fmt.Fprintf(bw, "prec %s %s\n", in.Indexes[pr.Before].Name, in.Indexes[pr.After].Name)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the compact text format and validates the result.
+func ReadText(r io.Reader) (*model.Instance, error) {
+	in := &model.Instance{}
+	idxByName := map[string]int{}
+	qByName := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("codec: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "instance":
+			if len(fields) != 2 {
+				return nil, bad("instance wants 1 argument")
+			}
+			in.Name = fields[1]
+		case "index":
+			if len(fields) < 3 {
+				return nil, bad("index wants at least name and cost")
+			}
+			cost, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, bad("bad cost %q", fields[2])
+			}
+			ix := model.Index{Name: fields[1], CreateCost: cost}
+			for _, opt := range fields[3:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, bad("bad option %q", opt)
+				}
+				switch k {
+				case "table":
+					ix.Table = v
+				case "cols":
+					ix.Columns = strings.Split(v, ",")
+				case "include":
+					ix.Include = strings.Split(v, ",")
+				default:
+					return nil, bad("unknown index option %q", k)
+				}
+			}
+			if _, dup := idxByName[ix.Name]; dup {
+				return nil, bad("duplicate index %q", ix.Name)
+			}
+			idxByName[ix.Name] = len(in.Indexes)
+			in.Indexes = append(in.Indexes, ix)
+		case "query":
+			if len(fields) < 3 {
+				return nil, bad("query wants at least name and runtime")
+			}
+			rt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, bad("bad runtime %q", fields[2])
+			}
+			q := model.Query{Name: fields[1], Runtime: rt}
+			for _, opt := range fields[3:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok || k != "weight" {
+					return nil, bad("unknown query option %q", opt)
+				}
+				w, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, bad("bad weight %q", v)
+				}
+				q.Weight = w
+			}
+			if _, dup := qByName[q.Name]; dup {
+				return nil, bad("duplicate query %q", q.Name)
+			}
+			qByName[q.Name] = len(in.Queries)
+			in.Queries = append(in.Queries, q)
+		case "plan":
+			if len(fields) != 4 {
+				return nil, bad("plan wants query, speedup, index list")
+			}
+			qi, ok := qByName[fields[1]]
+			if !ok {
+				return nil, bad("unknown query %q", fields[1])
+			}
+			spd, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, bad("bad speedup %q", fields[2])
+			}
+			var idxs []int
+			for _, nm := range strings.Split(fields[3], ",") {
+				ii, ok := idxByName[nm]
+				if !ok {
+					return nil, bad("unknown index %q", nm)
+				}
+				idxs = append(idxs, ii)
+			}
+			in.Plans = append(in.Plans, model.Plan{Query: qi, Indexes: idxs, Speedup: spd})
+		case "build":
+			if len(fields) != 4 {
+				return nil, bad("build wants target, helper, speedup")
+			}
+			ti, ok := idxByName[fields[1]]
+			if !ok {
+				return nil, bad("unknown index %q", fields[1])
+			}
+			hi, ok := idxByName[fields[2]]
+			if !ok {
+				return nil, bad("unknown index %q", fields[2])
+			}
+			spd, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, bad("bad speedup %q", fields[3])
+			}
+			in.BuildInteractions = append(in.BuildInteractions, model.BuildInteraction{Target: ti, Helper: hi, Speedup: spd})
+		case "prec":
+			if len(fields) != 3 {
+				return nil, bad("prec wants before, after")
+			}
+			bi, ok := idxByName[fields[1]]
+			if !ok {
+				return nil, bad("unknown index %q", fields[1])
+			}
+			ai, ok := idxByName[fields[2]]
+			if !ok {
+				return nil, bad("unknown index %q", fields[2])
+			}
+			in.Precedences = append(in.Precedences, model.Precedence{Before: bi, After: ai})
+		default:
+			return nil, bad("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: invalid instance: %w", err)
+	}
+	return in, nil
+}

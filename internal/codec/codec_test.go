@@ -1,0 +1,211 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+func sample() *model.Instance {
+	return &model.Instance{
+		Name: "sample",
+		Indexes: []model.Index{
+			{Name: "ix_lang_reg", Table: "users", Columns: []string{"lang", "region"}, CreateCost: 10},
+			{Name: "ix_lang_age_reg", Table: "users", Columns: []string{"lang", "age", "region"}, Include: []string{"name"}, CreateCost: 25},
+		},
+		Queries: []model.Query{
+			{Name: "q1", Runtime: 100},
+			{Name: "q2", Runtime: 80, Weight: 2},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 30},
+			{Query: 0, Indexes: []int{1}, Speedup: 55},
+			{Query: 1, Indexes: []int{0, 1}, Speedup: 60},
+		},
+		BuildInteractions: []model.BuildInteraction{
+			{Target: 0, Helper: 1, Speedup: 7},
+		},
+		Precedences: []model.Precedence{
+			{Before: 1, After: 0},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := sample()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", in, got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	in := sample()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("parse:\n%s\nerr: %v", buf.String(), err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", in, got)
+	}
+}
+
+func TestTextCommentsAndBlankLines(t *testing.T) {
+	src := `
+# a comment
+instance demo
+
+index a 5
+index b 7 table=t cols=x,y
+query q 50
+plan q 10 a,b
+build a b 2
+prec b a
+`
+	in, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "demo" || len(in.Indexes) != 2 || len(in.Plans) != 1 {
+		t.Fatalf("parsed %+v", in)
+	}
+	if in.Indexes[1].Table != "t" || len(in.Indexes[1].Columns) != 2 {
+		t.Fatalf("index options lost: %+v", in.Indexes[1])
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown record", "bogus x", "unknown record"},
+		{"bad cost", "index a zzz", "bad cost"},
+		{"dup index", "index a 1\nindex a 2\nquery q 5", "duplicate index"},
+		{"dup query", "index a 1\nquery q 5\nquery q 6", "duplicate query"},
+		{"unknown query in plan", "index a 1\nquery q 5\nplan nope 1 a", "unknown query"},
+		{"unknown index in plan", "index a 1\nquery q 5\nplan q 1 nope", "unknown index"},
+		{"bad speedup", "index a 1\nquery q 5\nplan q xx a", "bad speedup"},
+		{"build unknown", "index a 1\nquery q 5\nbuild a nope 1", "unknown index"},
+		{"prec unknown", "index a 1\nquery q 5\nprec a nope", "unknown index"},
+		{"bad option", "index a 1 bogus", "bad option"},
+		{"unknown option", "index a 1 zap=3", "unknown index option"},
+		{"query option", "index a 1\nquery q 5 zap=3", "unknown query option"},
+		{"bad weight", "index a 1\nquery q 5 weight=zz", "bad weight"},
+		{"short plan", "index a 1\nquery q 5\nplan q 1", "plan wants"},
+		{"short build", "index a 1\nquery q 5\nbuild a", "build wants"},
+		{"short prec", "index a 1\nquery q 5\nprec a", "prec wants"},
+		{"short index", "index a", "index wants"},
+		{"short query", "index a 1\nquery q", "query wants"},
+		{"instance args", "instance a b", "instance wants"},
+		{"semantic", "index a 1\nquery q 5\nplan q 99 a", "invalid instance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadText(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONRejectsUnknownFieldsAndInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"indexes":[{"name":"a","create_cost":-1}],"queries":[],"plans":[]}`)); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("truncated json accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	in := sample()
+	for _, name := range []string{"inst.json", "inst.txt"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, in); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !reflect.DeepEqual(in, got) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+// Property: any generated instance survives a text and a JSON round trip
+// with identical objective values.
+func TestQuickRoundTripPreservesObjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = 2 + rng.Intn(10)
+		cfg.PrecedenceProb = 0.1
+		in := randgen.New(rng, cfg)
+
+		var jbuf, tbuf bytes.Buffer
+		if err := WriteJSON(&jbuf, in); err != nil {
+			return false
+		}
+		if err := WriteText(&tbuf, in); err != nil {
+			return false
+		}
+		fromJ, err := ReadJSON(&jbuf)
+		if err != nil {
+			return false
+		}
+		fromT, err := ReadText(&tbuf)
+		if err != nil {
+			return false
+		}
+		order := make([]int, in.N())
+		for i := range order {
+			order[i] = i
+		}
+		a := model.MustCompile(in).Objective(order)
+		b := model.MustCompile(fromJ).Objective(order)
+		c := model.MustCompile(fromT).Objective(order)
+		const eps = 1e-9
+		return diff(a, b) < eps && diff(a, c) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / (1 + a)
+}

@@ -1,0 +1,35 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText feeds arbitrary bytes to the text parser: it must never
+// panic, and anything it accepts must re-serialize to a form it accepts
+// again with identical structure counts.
+func FuzzReadText(f *testing.F) {
+	f.Add("instance demo\nindex a 5\nquery q 50\nplan q 10 a\n")
+	f.Add("index a 1\nindex b 2\nquery q 5\nbuild a b 0.5\nprec a b\n")
+	f.Add("# only a comment\n")
+	f.Add("index a -1\n")
+	f.Add("plan q 10 a")
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := ReadText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, in); err != nil {
+			t.Fatalf("accepted instance failed to serialize: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, buf.String())
+		}
+		if len(back.Indexes) != len(in.Indexes) || len(back.Plans) != len(in.Plans) {
+			t.Fatalf("round trip changed structure: %v vs %v", back.Stats(), in.Stats())
+		}
+	})
+}

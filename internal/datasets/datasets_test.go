@@ -1,0 +1,121 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// TestTable4Statistics pins the instance statistics against the paper's
+// Table 4 targets (approximate reproduction bands, not exact equality:
+// our optimizer is a simulator, not the authors' commercial DBMS).
+func TestTable4Statistics(t *testing.T) {
+	h := TPCH().Stats()
+	if h.Queries != 22 {
+		t.Errorf("tpch |Q| = %d, want 22", h.Queries)
+	}
+	if h.Indexes < 25 || h.Indexes > 40 {
+		t.Errorf("tpch |I| = %d, want ≈31", h.Indexes)
+	}
+	if h.Plans < 150 || h.Plans > 350 {
+		t.Errorf("tpch |P| = %d, want ≈221", h.Plans)
+	}
+	if h.LargestPlan < 4 || h.LargestPlan > 7 {
+		t.Errorf("tpch largest plan = %d, want ≈5", h.LargestPlan)
+	}
+	if h.BuildInteractions < 10 || h.BuildInteractions > 80 {
+		t.Errorf("tpch build interactions = %d, want ≈31", h.BuildInteractions)
+	}
+
+	ds := TPCDS().Stats()
+	if ds.Queries != 102 {
+		t.Errorf("tpcds |Q| = %d, want 102", ds.Queries)
+	}
+	if ds.Indexes < 100 || ds.Indexes > 200 {
+		t.Errorf("tpcds |I| = %d, want ≈148", ds.Indexes)
+	}
+	if ds.Plans < 2500 || ds.Plans > 4500 {
+		t.Errorf("tpcds |P| = %d, want ≈3386", ds.Plans)
+	}
+	if ds.LargestPlan < 10 || ds.LargestPlan > 16 {
+		t.Errorf("tpcds largest plan = %d, want ≈13", ds.LargestPlan)
+	}
+	if ds.BuildInteractions < 80 || ds.BuildInteractions > 500 {
+		t.Errorf("tpcds build interactions = %d, want ≈243", ds.BuildInteractions)
+	}
+	// TPC-DS must dwarf TPC-H the way the paper describes ("400 times
+	// larger in scale" for the ordering search space).
+	if ds.Indexes < 3*h.Indexes {
+		t.Errorf("tpcds (%d indexes) not much larger than tpch (%d)", ds.Indexes, h.Indexes)
+	}
+}
+
+func TestInstancesValidate(t *testing.T) {
+	if err := TPCH().Validate(); err != nil {
+		t.Errorf("tpch: %v", err)
+	}
+	if err := TPCDS().Validate(); err != nil {
+		t.Errorf("tpcds: %v", err)
+	}
+}
+
+func TestCachedInstanceIdentity(t *testing.T) {
+	if TPCH() != TPCH() {
+		t.Error("TPCH not cached")
+	}
+	c := Clone(TPCH())
+	if c == TPCH() {
+		t.Error("Clone returned the cached pointer")
+	}
+	c.Indexes[0].CreateCost *= 2
+	if TPCH().Indexes[0].CreateCost == c.Indexes[0].CreateCost {
+		t.Error("Clone shares index storage")
+	}
+}
+
+func TestReducedDensities(t *testing.T) {
+	full := ReducedTPCH(13, Full)
+	mid := ReducedTPCH(13, Mid)
+	low := ReducedTPCH(13, Low)
+
+	for _, in := range []*model.Instance{full, mid, low} {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if in.N() != 13 {
+			t.Fatalf("%s: %d indexes, want 13", in.Name, in.N())
+		}
+	}
+	if len(low.BuildInteractions) != 0 {
+		t.Errorf("low density kept %d build interactions", len(low.BuildInteractions))
+	}
+	if len(mid.BuildInteractions) > len(full.BuildInteractions) {
+		t.Error("mid density has more build interactions than full")
+	}
+	if len(low.Plans) > len(mid.Plans) || len(mid.Plans) > len(full.Plans) {
+		t.Errorf("plan counts not monotone: %d/%d/%d", len(low.Plans), len(mid.Plans), len(full.Plans))
+	}
+	// Low density keeps at most one plan per query.
+	perQ := map[int]int{}
+	for _, p := range low.Plans {
+		perQ[p.Query]++
+		if perQ[p.Query] > 1 {
+			t.Fatalf("low density kept %d plans for query %d", perQ[p.Query], p.Query)
+		}
+	}
+	// All plans reference only the reduced index set.
+	for _, p := range mid.Plans {
+		for _, ix := range p.Indexes {
+			if ix >= 13 {
+				t.Fatalf("plan references index %d outside the reduction", ix)
+			}
+		}
+	}
+}
+
+func TestReduceClampsN(t *testing.T) {
+	in := ReducedTPCH(10_000, Full)
+	if in.N() != TPCH().N() {
+		t.Errorf("clamp failed: %d", in.N())
+	}
+}

@@ -1,0 +1,192 @@
+package evolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/advisor"
+	"github.com/evolving-olap/idd/internal/sql"
+)
+
+func cr(t, c string) sql.ColRef { return sql.ColRef{Table: t, Column: c} }
+
+func warehouseSchema() *sql.Schema {
+	return &sql.Schema{
+		Name: "wh",
+		Tables: []*sql.Table{
+			{Name: "events", Rows: 4_000_000, Columns: []sql.Column{
+				{Name: "event_id", Distinct: 4_000_000, Width: 8},
+				{Name: "user_id", Distinct: 200_000, Width: 8},
+				{Name: "kind", Distinct: 20, Width: 4},
+				{Name: "day", Distinct: 1_000, Width: 4},
+				{Name: "amount", Distinct: 50_000, Width: 8},
+				{Name: "region", Distinct: 30, Width: 4},
+			}},
+			{Name: "users", Rows: 200_000, Columns: []sql.Column{
+				{Name: "user_id", Distinct: 200_000, Width: 8},
+				{Name: "segment", Distinct: 8, Width: 4},
+				{Name: "joined", Distinct: 2_000, Width: 4},
+			}},
+		},
+	}
+}
+
+func eraOne() []*sql.Query {
+	return []*sql.Query{
+		{
+			Name:   "daily_kind",
+			Tables: []string{"events"},
+			Predicates: []sql.Predicate{
+				{Col: cr("events", "kind"), Kind: sql.Eq, Selectivity: 0.05},
+				{Col: cr("events", "day"), Kind: sql.Range, Selectivity: 0.01},
+			},
+			Select: []sql.ColRef{cr("events", "amount")},
+		},
+	}
+}
+
+func eraTwo() []*sql.Query {
+	return []*sql.Query{
+		{ // carried over from era one
+			Name:   "daily_kind",
+			Tables: []string{"events"},
+			Predicates: []sql.Predicate{
+				{Col: cr("events", "kind"), Kind: sql.Eq, Selectivity: 0.05},
+				{Col: cr("events", "day"), Kind: sql.Range, Selectivity: 0.01},
+			},
+			Select: []sql.ColRef{cr("events", "amount")},
+		},
+		{ // new business question: segment analytics over a join
+			Name:   "segment_revenue",
+			Tables: []string{"events", "users"},
+			Predicates: []sql.Predicate{
+				{Col: cr("users", "segment"), Kind: sql.Eq, Selectivity: 0.125},
+			},
+			Joins:   []sql.Join{{Left: cr("events", "user_id"), Right: cr("users", "user_id")}},
+			GroupBy: []sql.ColRef{cr("users", "segment")},
+			Select:  []sql.ColRef{cr("events", "amount")},
+		},
+	}
+}
+
+func eraThree() []*sql.Query {
+	return []*sql.Query{
+		{ // the old reports are gone; region analytics replace them
+			Name:   "region_rollup",
+			Tables: []string{"events"},
+			Predicates: []sql.Predicate{
+				{Col: cr("events", "region"), Kind: sql.Eq, Selectivity: 1.0 / 30},
+			},
+			GroupBy: []sql.ColRef{cr("events", "region")},
+			Select:  []sql.ColRef{cr("events", "amount")},
+		},
+	}
+}
+
+func rounds() []Round {
+	s := warehouseSchema()
+	return []Round{
+		{Name: "era1", Schema: s, Queries: eraOne()},
+		{Name: "era2", Schema: s, Queries: eraTwo()},
+		{Name: "era3", Schema: s, Queries: eraThree()},
+	}
+}
+
+func TestRunThreeEras(t *testing.T) {
+	steps, err := Run(rounds(), Options{
+		Advisor:    advisor.Options{MaxIndexes: 6},
+		OrderSteps: 5000,
+		Rng:        rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	// Era 1 deploys something and improves the workload.
+	if len(steps[0].Deployed) == 0 {
+		t.Fatal("era1 deployed nothing")
+	}
+	if steps[0].RuntimeAfter >= steps[0].RuntimeBefore {
+		t.Errorf("era1 runtime did not improve: %v -> %v", steps[0].RuntimeBefore, steps[0].RuntimeAfter)
+	}
+	// Era 2 must not redeploy era 1's surviving indexes.
+	have := map[string]bool{}
+	for _, d := range steps[0].Deployed {
+		have[d.Name()] = true
+	}
+	for _, d := range steps[1].Deployed {
+		if have[d.Name()] {
+			t.Errorf("era2 redeployed %s", d.Name())
+		}
+	}
+	// Era 3's workload abandons the old queries: something gets dropped.
+	if len(steps[2].Dropped) == 0 {
+		t.Error("era3 dropped nothing despite a full workload shift")
+	}
+	// Delta instances validate and deployments match them.
+	for _, st := range steps {
+		if st.Delta == nil {
+			continue
+		}
+		if err := st.Delta.Validate(); err != nil {
+			t.Errorf("round %s: %v", st.Round, err)
+		}
+		if st.Delta.N() != len(st.Deployed) {
+			t.Errorf("round %s: delta has %d indexes, deployed %d", st.Round, st.Delta.N(), len(st.Deployed))
+		}
+	}
+}
+
+func TestStableWorkloadDeploysOnceAndNeverAgain(t *testing.T) {
+	s := warehouseSchema()
+	same := []Round{
+		{Name: "a", Schema: s, Queries: eraOne()},
+		{Name: "b", Schema: s, Queries: eraOne()},
+	}
+	steps, err := Run(same, Options{Advisor: advisor.Options{MaxIndexes: 4}, OrderSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps[0].Deployed) == 0 {
+		t.Fatal("first round deployed nothing")
+	}
+	if len(steps[1].Deployed) != 0 {
+		t.Errorf("stable workload triggered redeployment: %v", steps[1].Deployed)
+	}
+	if len(steps[1].Dropped) != 0 {
+		t.Errorf("stable workload triggered drops: %v", steps[1].Dropped)
+	}
+}
+
+func TestSchemaEvolutionInvalidatesIndexes(t *testing.T) {
+	s1 := warehouseSchema()
+	// Era 2's schema drops the users table entirely.
+	s2 := &sql.Schema{Name: "wh2", Tables: s1.Tables[:1]}
+	steps, err := Run([]Round{
+		{Name: "a", Schema: s1, Queries: eraTwo()},
+		{Name: "b", Schema: s2, Queries: eraThree()},
+	}, Options{Advisor: advisor.Options{MaxIndexes: 8}, OrderSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any users-table index from round a must be gone silently (killed by
+	// the schema change, not counted as an explicit drop of the new
+	// design) and never deployed again.
+	for _, d := range steps[1].Deployed {
+		if d.Table == "users" {
+			t.Errorf("deployed index on dropped table: %s", d.Name())
+		}
+	}
+}
+
+func TestRejectsInvalidWorkload(t *testing.T) {
+	s := warehouseSchema()
+	bad := []Round{{Name: "x", Schema: s, Queries: []*sql.Query{{
+		Name: "broken", Tables: []string{"nope"},
+	}}}}
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps experiment tests quick; the shapes under test do not
+// depend on long budgets.
+func fastCfg() Config {
+	return Config{
+		ExactBudget: 300 * time.Millisecond,
+		LocalBudget: 400 * time.Millisecond,
+		Seed:        1,
+		Points:      5,
+	}
+}
+
+func TestTable4Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table4(&buf)
+	out := buf.String()
+	for _, want := range []string{"tpch", "tpcds", "|I|", "LargestPlan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5ShapeHolds(t *testing.T) {
+	cells := RunTable5(fastCfg())
+	if len(cells) != len(Table5Sizes)*5 {
+		t.Fatalf("%d cells, want %d", len(cells), len(Table5Sizes)*5)
+	}
+	byKey := map[string]ExactCell{}
+	for _, c := range cells {
+		byKey[c.Method+"/"+itoa(c.Size)] = c
+	}
+	// Paper shape 1: plain CP solves the tiny instance but DFs on the
+	// large low-density one within budget.
+	if !byKey["CP/6"].Proved {
+		t.Error("CP should prove optimality on 6 indexes")
+	}
+	if byKey["CP/31"].Proved {
+		t.Error("plain CP should not prove 31 indexes within a sub-second budget")
+	}
+	// Paper shape 2: constraints never hurt — CP+ proves everything CP
+	// proves.
+	for _, sz := range Table5Sizes {
+		k := itoa(sz.N)
+		if byKey["CP/"+k].Proved && !byKey["CP+/"+k].Proved {
+			t.Errorf("CP proved n=%s but CP+ did not", k)
+		}
+	}
+	// Paper shape 3: VNS always reports a finite solution.
+	for _, sz := range Table5Sizes {
+		if math.IsInf(byKey["VNS/"+itoa(sz.N)].Objective, 1) {
+			t.Errorf("VNS has no solution for n=%d", sz.N)
+		}
+	}
+	// Paper shape 4: where CP+ proves an optimum, VNS matches it.
+	for _, sz := range Table5Sizes {
+		k := itoa(sz.N)
+		cpp, vns := byKey["CP+/"+k], byKey["VNS/"+k]
+		if cpp.Proved && vns.Objective > cpp.Objective*1.0001 {
+			t.Errorf("n=%s: VNS %.3f worse than proved optimum %.3f", k, vns.Objective, cpp.Objective)
+		}
+	}
+
+	var buf bytes.Buffer
+	FprintExactCells(&buf, "Table 5", cells)
+	if !strings.Contains(buf.String(), "DF") {
+		t.Error("expected at least one DF cell in the printout")
+	}
+}
+
+func TestTable6DrilldownMonotone(t *testing.T) {
+	cfg := fastCfg()
+	cells := RunTable6(cfg)
+	if len(cells) != len(Table6Sizes)*len(Table6Steps) {
+		t.Fatalf("%d cells", len(cells))
+	}
+	// Shape: the number of sizes solved (proved) must not decrease as
+	// properties accumulate.
+	solved := map[string]int{}
+	for _, c := range cells {
+		if c.Proved {
+			solved[c.Method]++
+		}
+	}
+	prev := -1
+	for _, step := range Table6Steps {
+		if solved[step.Name] < prev-1 { // allow 1 cell of timing jitter
+			t.Errorf("property step %s solved %d sizes, fewer than previous %d",
+				step.Name, solved[step.Name], prev)
+		}
+		if solved[step.Name] > prev {
+			prev = solved[step.Name]
+		}
+	}
+	// Full analysis must solve at least as many as plain CP.
+	if solved["+ACMDT"] < solved["CP"] {
+		t.Errorf("+ACMDT solved %d < CP %d", solved["+ACMDT"], solved["CP"])
+	}
+}
+
+func TestTable7GreedyBeatsDPAndRandom(t *testing.T) {
+	rows := RunTable7(fastCfg())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's Table 7 ordering: Greedy < DP and Greedy <
+		// Random(AVG) and Greedy < Random(MIN).
+		if r.Greedy >= r.RandomAvg {
+			t.Errorf("%s: greedy %.1f not better than random avg %.1f", r.Dataset, r.Greedy, r.RandomAvg)
+		}
+		if r.Greedy >= r.RandomMin {
+			t.Errorf("%s: greedy %.1f not better than random min %.1f", r.Dataset, r.Greedy, r.RandomMin)
+		}
+		if r.Greedy >= r.DP {
+			t.Errorf("%s: greedy %.1f not better than DP %.1f", r.Dataset, r.Greedy, r.DP)
+		}
+		if r.RandomMin > r.RandomAvg {
+			t.Errorf("%s: random min %.1f above avg %.1f", r.Dataset, r.RandomMin, r.RandomAvg)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable7(&buf, rows)
+	if !strings.Contains(buf.String(), "Greedy") {
+		t.Error("Table 7 printout malformed")
+	}
+}
+
+func TestFigure11SeriesShape(t *testing.T) {
+	cfg := fastCfg()
+	series := RunFigure11(cfg)
+	if len(series) != 5 {
+		t.Fatalf("%d series, want 5 (VNS, LNS, TS-B, TS-F, CP)", len(series))
+	}
+	final := map[string]float64{}
+	for _, s := range series {
+		if len(s.Samples) != cfg.Points {
+			t.Fatalf("%s: %d samples, want %d", s.Method, len(s.Samples), cfg.Points)
+		}
+		// Monotone non-increasing curves.
+		for i := 1; i < len(s.Samples); i++ {
+			if s.Samples[i].Objective > s.Samples[i-1].Objective+1e-9 {
+				t.Errorf("%s: objective increased along the curve", s.Method)
+			}
+		}
+		final[s.Method] = s.Samples[len(s.Samples)-1].Objective
+	}
+	// Headline shape: VNS ends at or below plain CP.
+	if final["VNS"] > final["CP"]+1e-9 {
+		t.Errorf("VNS (%.3f) ended above CP (%.3f)", final["VNS"], final["CP"])
+	}
+	var buf bytes.Buffer
+	FprintAnytime(&buf, "Figure 11", series)
+	if !strings.Contains(buf.String(), "VNS") {
+		t.Error("series printout malformed")
+	}
+}
+
+func TestFigure13Decomposition(t *testing.T) {
+	pts := RunFigure13(fastCfg())
+	if len(pts) == 0 {
+		t.Fatal("no improvement points")
+	}
+	for _, p := range pts {
+		if p.DeployTime <= 0 || p.AvgRuntime <= 0 {
+			t.Fatalf("nonpositive decomposition: %+v", p)
+		}
+	}
+	// obj = avg * deploy must be non-increasing across points.
+	prev := math.Inf(1)
+	for _, p := range pts {
+		obj := p.DeployTime * p.AvgRuntime
+		if obj > prev*(1+1e-9) {
+			t.Errorf("objective rose along Figure 13 series: %v -> %v", prev, obj)
+		}
+		prev = obj
+	}
+	var buf bytes.Buffer
+	FprintFigure13(&buf, pts)
+	if !strings.Contains(buf.String(), "deploy") {
+		t.Error("Figure 13 printout malformed")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFigure11ExtendedIncludesNewMethods(t *testing.T) {
+	series := RunFigure11Extended(fastCfg())
+	if len(series) != 7 {
+		t.Fatalf("%d series, want 7", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Method] = true
+	}
+	for _, want := range []string{"SA", "Insert", "VNS"} {
+		if !names[want] {
+			t.Errorf("missing %s series", want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+	"github.com/evolving-olap/idd/internal/solver/local"
+)
+
+// AnytimeSeries is one method's curve for Figures 11/12.
+type AnytimeSeries struct {
+	Method  string
+	Samples []CurveSample
+}
+
+// localMethods enumerates the Figure 11 contenders. Figure 12 omits LNS
+// (the paper found it dominated by VNS and too slow to tune at TPC-DS
+// scale).
+func localMethods(includeLNS bool) []string {
+	ms := []string{"VNS"}
+	if includeLNS {
+		ms = append(ms, "LNS")
+	}
+	return append(ms, "TS-BSwap", "TS-FSwap", "CP")
+}
+
+// RunFigure11Extended reruns the TPC-H anytime comparison with the two
+// metaheuristics §7 names but does not evaluate — simulated annealing
+// and insertion-neighborhood descent — added to the paper's field.
+func RunFigure11Extended(cfg Config) []AnytimeSeries {
+	cfg = cfg.withDefaults()
+	c := compiledTPCH()
+	budget := cfg.localBudget("tpch")
+	out := runAnytime(c, cfg, budget, true)
+	init := greedyStart(c)
+	for mi, m := range []string{"SA", "Insert"} {
+		opt := local.Options{
+			Initial: init,
+			Budget:  budget,
+			Rng:     rngFor(cfg, int64(mi)+500),
+		}
+		var traj local.Trajectory
+		if m == "SA" {
+			traj = local.Anneal(c, nil, opt).Traj
+		} else {
+			traj = local.InsertSearch(c, nil, opt).Traj
+		}
+		out = append(out, AnytimeSeries{Method: m, Samples: sampleTrajectory(traj, budget, cfg.Points)})
+	}
+	return out
+}
+
+// RunFigure11 produces the TPC-H anytime comparison (VNS, LNS, two Tabu
+// variants, plain CP), all seeded with the same greedy solution.
+func RunFigure11(cfg Config) []AnytimeSeries {
+	cfg = cfg.withDefaults()
+	return runAnytime(compiledTPCH(), cfg, cfg.localBudget("tpch"), true)
+}
+
+// RunFigure12 produces the TPC-DS anytime comparison (VNS, Tabu, CP).
+func RunFigure12(cfg Config) []AnytimeSeries {
+	cfg = cfg.withDefaults()
+	return runAnytime(compiledTPCDS(), cfg, cfg.localBudget("tpcds"), false)
+}
+
+func runAnytime(c *model.Compiled, cfg Config, budget time.Duration, includeLNS bool) []AnytimeSeries {
+	init := greedyStart(c)
+	var out []AnytimeSeries
+	for mi, m := range localMethods(includeLNS) {
+		opt := local.Options{
+			Initial: init,
+			Budget:  budget,
+			Rng:     rngFor(cfg, int64(mi)+100),
+		}
+		var traj local.Trajectory
+		switch m {
+		case "VNS":
+			traj = local.VNS(c, nil, opt).Traj
+		case "LNS":
+			traj = local.LNS(c, nil, opt).Traj
+		case "TS-BSwap":
+			traj = local.TabuBSwap(c, nil, opt).Traj
+		case "TS-FSwap":
+			traj = local.TabuFSwap(c, nil, opt).Traj
+		case "CP":
+			traj = cpAnytime(c, budget, init)
+		}
+		out = append(out, AnytimeSeries{Method: m, Samples: sampleTrajectory(traj, budget, cfg.Points)})
+	}
+	return out
+}
+
+// cpAnytime runs the plain CP search as an anytime method, recording
+// improvements (the "CP" line of Figures 11/12: it gets overwhelmed by
+// the neighborhood and barely improves on greedy).
+func cpAnytime(c *model.Compiled, budget time.Duration, init []int) local.Trajectory {
+	start := time.Now()
+	traj := local.Trajectory{{Elapsed: 0, Objective: c.Objective(init)}}
+	cp.Solve(c, nil, cp.Options{
+		Deadline:  start.Add(budget),
+		Incumbent: init,
+		OnSolution: func(_ []int, obj float64) {
+			traj = append(traj, local.TrajPoint{Elapsed: time.Since(start), Objective: obj})
+		},
+	})
+	return traj
+}
+
+// FprintAnytime prints a Figure 11/12 style series block.
+func FprintAnytime(w io.Writer, title string, series []AnytimeSeries) {
+	names := make([]string, len(series))
+	samples := make([][]CurveSample, len(series))
+	for i, s := range series {
+		names[i] = s.Method
+		samples[i] = s.Samples
+	}
+	writeSeries(w, title, names, samples)
+}
+
+// Figure13Point decomposes a VNS improvement: where did the gain come
+// from — deployment time (build interactions) or average query runtime
+// during deployment?
+type Figure13Point struct {
+	Elapsed    time.Duration
+	DeployTime float64 // total deployment time of the current best order
+	AvgRuntime float64 // objective / deployment time (average workload runtime while deploying)
+}
+
+// RunFigure13 runs VNS on TPC-DS and decomposes every improvement into
+// the paper's two components: the deployment time of the current best
+// order (which build interactions shrink) and the average workload
+// runtime during deployment (objective / deployment time).
+func RunFigure13(cfg Config) []Figure13Point {
+	cfg = cfg.withDefaults()
+	c := compiledTPCDS()
+	init := greedyStart(c)
+	budget := cfg.localBudget("tpcds")
+
+	start := time.Now()
+	var out []Figure13Point
+	local.VNS(c, nil, local.Options{
+		Initial: init,
+		Budget:  budget,
+		Rng:     rngFor(cfg, 1313),
+		OnImprove: func(order []int, obj float64) {
+			_, deploy, _ := c.Evaluate(order)
+			out = append(out, Figure13Point{
+				Elapsed:    time.Since(start),
+				DeployTime: deploy,
+				AvgRuntime: obj / deploy,
+			})
+		},
+	})
+	return out
+}
+
+// FprintFigure13 prints the decomposition series.
+func FprintFigure13(w io.Writer, pts []Figure13Point) {
+	fmt.Fprintln(w, "Figure 13: VNS (TPC-DS) — deployment time and average query runtime")
+	fmt.Fprintf(w, "%-10s %14s %16s\n", "time[s]", "deploy[units]", "avg-runtime")
+	rule(w, 42)
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10.3f %14.1f %16.3f\n", p.Elapsed.Seconds(), p.DeployTime, p.AvgRuntime)
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sym(n int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return w
+}
+
+func addEdge(w [][]float64, a, b int, wt float64) {
+	w[a][b] += wt
+	w[b][a] += wt
+}
+
+func cutWeight(w [][]float64, side []bool) float64 {
+	var sum float64
+	for i := range w {
+		for j := i + 1; j < len(w); j++ {
+			if side[i] != side[j] {
+				sum += w[i][j]
+			}
+		}
+	}
+	return sum
+}
+
+func TestTwoVertices(t *testing.T) {
+	w := sym(2)
+	addEdge(w, 0, 1, 3.5)
+	wt, side := MinCut(w)
+	if wt != 3.5 {
+		t.Errorf("cut weight = %v, want 3.5", wt)
+	}
+	if side[0] == side[1] {
+		t.Error("cut must separate the two vertices")
+	}
+}
+
+func TestBridgeGraph(t *testing.T) {
+	// Two triangles joined by a light bridge: the min cut is the bridge.
+	w := sym(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		addEdge(w, e[0], e[1], 10)
+	}
+	addEdge(w, 2, 3, 1)
+	wt, side := MinCut(w)
+	if wt != 1 {
+		t.Fatalf("cut weight = %v, want 1", wt)
+	}
+	if side[0] != side[1] || side[1] != side[2] || side[3] != side[4] || side[4] != side[5] {
+		t.Errorf("cut split a triangle: %v", side)
+	}
+	if side[0] == side[3] {
+		t.Error("cut did not separate the triangles")
+	}
+}
+
+func TestDisconnectedGraphHasZeroCut(t *testing.T) {
+	w := sym(4)
+	addEdge(w, 0, 1, 5)
+	addEdge(w, 2, 3, 7)
+	wt, side := MinCut(w)
+	if wt != 0 {
+		t.Fatalf("cut weight = %v, want 0", wt)
+	}
+	if side[0] != side[1] && side[2] != side[3] {
+		t.Error("a zero cut should keep at least one component whole")
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	// Star with distinct leaf weights: min cut isolates the lightest leaf.
+	w := sym(5)
+	addEdge(w, 0, 1, 4)
+	addEdge(w, 0, 2, 2)
+	addEdge(w, 0, 3, 9)
+	addEdge(w, 0, 4, 7)
+	wt, side := MinCut(w)
+	if wt != 2 {
+		t.Fatalf("cut weight = %v, want 2", wt)
+	}
+	count := 0
+	for _, s := range side {
+		if s {
+			count++
+		}
+	}
+	if count != 1 && count != 4 {
+		t.Errorf("expected a single leaf cut, got side=%v", side)
+	}
+}
+
+func TestPanicsOnTinyGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-vertex graph")
+		}
+	}()
+	MinCut(sym(1))
+}
+
+// Property: on random small graphs, Stoer–Wagner matches brute-force
+// enumeration over all 2^(n-1) bipartitions.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%7
+		rng := rand.New(rand.NewSource(seed))
+		w := sym(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					addEdge(w, i, j, float64(1+rng.Intn(10)))
+				}
+			}
+		}
+		got, side := MinCut(w)
+		// Proper cut?
+		all, none := true, true
+		for _, s := range side {
+			if s {
+				none = false
+			} else {
+				all = false
+			}
+		}
+		if all || none {
+			return false
+		}
+		if math.Abs(cutWeight(w, side)-got) > 1e-9 {
+			return false
+		}
+		// Brute force: vertex 0 fixed on one side.
+		best := math.Inf(1)
+		for mask := 1; mask < 1<<(n-1); mask++ {
+			s := make([]bool, n)
+			for v := 1; v < n; v++ {
+				s[v] = mask&(1<<(v-1)) != 0
+			}
+			if cw := cutWeight(w, s); cw < best {
+				best = cw
+			}
+		}
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

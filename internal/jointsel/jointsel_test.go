@@ -1,0 +1,200 @@
+package jointsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/datasets"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+// mixedInstance has two clearly good indexes and one dead weight.
+func mixedInstance() *model.Instance {
+	return &model.Instance{
+		Name: "mixed",
+		Indexes: []model.Index{
+			{Name: "good1", CreateCost: 10},
+			{Name: "good2", CreateCost: 12},
+			{Name: "dead", CreateCost: 50},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100},
+			{Name: "qb", Runtime: 80},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 70},
+			{Query: 1, Indexes: []int{1}, Speedup: 50},
+		},
+	}
+}
+
+func TestSelectsUsefulDropsDead(t *testing.T) {
+	c := model.MustCompile(mixedInstance())
+	res := Solve(c, Options{})
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %v, want the two useful indexes", res.Selected)
+	}
+	for _, ix := range res.Selected {
+		if ix == 2 {
+			t.Fatal("dead-weight index selected")
+		}
+	}
+	if res.HorizonCost <= 0 || res.Objective <= 0 {
+		t.Fatalf("degenerate costs: %+v", res)
+	}
+}
+
+func TestShortHorizonSelectsNothingExpensive(t *testing.T) {
+	in := mixedInstance()
+	// With a horizon shorter than any build, nothing pays off.
+	c := model.MustCompile(in)
+	res := Solve(c, Options{Horizon: 1})
+	if len(res.Selected) != 0 {
+		t.Fatalf("horizon 1 selected %v", res.Selected)
+	}
+	// Empty selection's horizon cost = base runtime * horizon.
+	if want := c.Base * 1; res.HorizonCost != want {
+		t.Errorf("horizon cost %v, want %v", res.HorizonCost, want)
+	}
+}
+
+func TestLongHorizonSelectsMore(t *testing.T) {
+	in := mixedInstance()
+	// Make the dead index marginally useful so horizon length matters.
+	in.Plans = append(in.Plans, model.Plan{Query: 1, Indexes: []int{2}, Speedup: 55})
+	c := model.MustCompile(in)
+	short := Solve(c, Options{Horizon: 100})
+	long := Solve(c, Options{Horizon: 100000})
+	if len(long.Selected) < len(short.Selected) {
+		t.Errorf("longer horizon selected fewer indexes: %d vs %d",
+			len(long.Selected), len(short.Selected))
+	}
+	if len(long.Selected) != 3 {
+		t.Errorf("very long horizon should select everything useful, got %v", long.Selected)
+	}
+}
+
+func TestMaxIndexesCap(t *testing.T) {
+	c := model.MustCompile(mixedInstance())
+	res := Solve(c, Options{MaxIndexes: 1})
+	if len(res.Selected) != 1 {
+		t.Fatalf("cap ignored: %v", res.Selected)
+	}
+	// The single pick must be the denser index (good1: 70/10).
+	if res.Selected[0] != 0 {
+		t.Errorf("picked %d, want 0", res.Selected[0])
+	}
+}
+
+func TestRespectsPrecedences(t *testing.T) {
+	in := mixedInstance()
+	// good2 requires dead (like a secondary index on an MV needing the
+	// clustered index first).
+	in.Precedences = []model.Precedence{{Before: 2, After: 1}}
+	c := model.MustCompile(in)
+	res := Solve(c, Options{})
+	pos := map[int]int{}
+	for k, ix := range res.Selected {
+		pos[ix] = k
+	}
+	if p1, ok := pos[1]; ok {
+		p2, ok2 := pos[2]
+		if !ok2 {
+			t.Fatal("selected good2 without its prerequisite")
+		}
+		if p2 > p1 {
+			t.Fatal("prerequisite deployed after its dependent")
+		}
+	}
+}
+
+func TestProjectKeepsOnlyInternalStructure(t *testing.T) {
+	in := mixedInstance()
+	in.BuildInteractions = []model.BuildInteraction{
+		{Target: 0, Helper: 1, Speedup: 3},
+		{Target: 0, Helper: 2, Speedup: 4},
+	}
+	sub, order := Project(in, []int{1, 0})
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 || len(order) != 2 {
+		t.Fatalf("projection size wrong: %d/%d", sub.N(), len(order))
+	}
+	if len(sub.BuildInteractions) != 1 {
+		t.Fatalf("interactions crossing the selection must drop: %v", sub.BuildInteractions)
+	}
+	// order maps full positions {1,0} to sub positions: full 1 -> sub 1,
+	// full 0 -> sub 0, so order = [1,0].
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("order mapping = %v", order)
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 10
+	cfg.PrecedenceProb = 0
+	for seed := int64(0); seed < 5; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		plain := Solve(c, Options{})
+		refined := Solve(c, Options{
+			Refine:      true,
+			RefineSteps: 5000,
+			Rng:         rand.New(rand.NewSource(seed + 100)),
+		})
+		if refined.HorizonCost > plain.HorizonCost+1e-6 {
+			t.Errorf("seed %d: refinement worsened horizon cost %v -> %v",
+				seed, plain.HorizonCost, refined.HorizonCost)
+		}
+	}
+}
+
+func TestOnTPCHSelectsSubsetAndOrdersIt(t *testing.T) {
+	c := model.MustCompile(datasets.TPCH())
+	res := Solve(c, Options{MaxIndexes: 12})
+	if len(res.Selected) == 0 || len(res.Selected) > 12 {
+		t.Fatalf("selected %d indexes", len(res.Selected))
+	}
+	if err := res.Sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The chosen subset must genuinely help: final runtime below base.
+	subC := model.MustCompile(res.Sub)
+	_, _, final := subC.Evaluate(orderOf(res))
+	if final >= c.Base {
+		t.Error("joint selection produced no runtime improvement")
+	}
+}
+
+func orderOf(res Result) []int {
+	_, order := Project(res.Sub, identity(len(res.Sub.Indexes)))
+	_ = order
+	out := make([]int, len(res.Selected))
+	// Selected is in deployment order over full positions; Sub indexes
+	// are sorted by full position. Recompute the mapping.
+	sorted := append([]int(nil), res.Selected...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	posOf := map[int]int{}
+	for subPos, full := range sorted {
+		posOf[full] = subPos
+	}
+	for k, full := range res.Selected {
+		out[k] = posOf[full]
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

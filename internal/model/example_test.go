@@ -1,0 +1,54 @@
+package model_test
+
+import (
+	"fmt"
+
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// Example demonstrates the core objective: the area under the
+// runtime-vs-time curve depends on deployment order.
+func Example() {
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "small_useful", CreateCost: 10},
+			{Name: "big_covering", CreateCost: 40},
+		},
+		Queries: []model.Query{{Name: "report", Runtime: 100}},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 30},
+			{Query: 0, Indexes: []int{1}, Speedup: 80},
+		},
+	}
+	c := model.MustCompile(in)
+	fmt.Printf("small first: %.0f\n", c.Objective([]int{0, 1}))
+	fmt.Printf("big first:   %.0f\n", c.Objective([]int{1, 0}))
+	// Output:
+	// small first: 3800
+	// big first:   4200
+}
+
+// ExampleWalker shows incremental evaluation with backtracking — the
+// primitive all exact solvers share.
+func ExampleWalker() {
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 5},
+			{Name: "b", CreateCost: 5},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 50}},
+		Plans:   []model.Plan{{Query: 0, Indexes: []int{0, 1}, Speedup: 40}},
+	}
+	w := model.NewWalker(model.MustCompile(in))
+	w.Push(0)
+	fmt.Printf("after a: runtime %.0f\n", w.Runtime())
+	w.Push(1)
+	fmt.Printf("after b: runtime %.0f\n", w.Runtime())
+	w.Pop()
+	w.Pop()
+	fmt.Printf("rewound: runtime %.0f, objective %.0f\n", w.Runtime(), w.Objective())
+	// Output:
+	// after a: runtime 50
+	// after b: runtime 10
+	// rewound: runtime 50, objective 0
+}

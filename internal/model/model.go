@@ -1,0 +1,150 @@
+// Package model defines the index deployment ordering problem of
+// "Optimizing Index Deployment Order for Evolving OLAP" (Kimura et al.,
+// EDBT 2012): a set of indexes with creation costs, a query workload, the
+// query plans enabled by subsets of the indexes, pairwise build
+// interactions, and precedence constraints. A solution is a permutation of
+// the indexes; its objective is the area under the query-runtime curve
+// during deployment, sum_k R_{k-1}*C_k (smaller is better).
+package model
+
+import "fmt"
+
+// Index is one auxiliary structure (secondary index, clustered index or
+// materialized view) to be deployed. Table and Columns are descriptive
+// metadata; the optimizer-independent problem only needs CreateCost.
+type Index struct {
+	// Name is a human-readable identifier, unique within an instance.
+	Name string `json:"name"`
+	// Table is the table (or MV) the index belongs to.
+	Table string `json:"table,omitempty"`
+	// Columns are the key columns, outermost first.
+	Columns []string `json:"columns,omitempty"`
+	// Include are non-key included columns (covering payload).
+	Include []string `json:"include,omitempty"`
+	// CreateCost is ctime(i): the cost to build the index when no build
+	// interaction applies. Must be positive.
+	CreateCost float64 `json:"create_cost"`
+}
+
+// Query is one workload query with its pre-deployment runtime.
+type Query struct {
+	// Name identifies the query (e.g. "q17" or "tpcds.q88").
+	Name string `json:"name"`
+	// Runtime is qtime(q): runtime with none of the candidate indexes
+	// deployed. Must be positive.
+	Runtime float64 `json:"runtime"`
+	// Weight scales the query's contribution to the total runtime;
+	// zero means 1. The paper's §4.4 supports per-query weighting by
+	// scaling runtimes; we keep the weight explicit.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Plan is one atomic configuration for a query: the query runs
+// Speedup faster than Query.Runtime when every index in Indexes exists.
+// The optimizer always picks the best available plan per query
+// (the "competing interaction" of §4.2), so plans for the same query
+// compete; plans with more than one index are "query interactions".
+type Plan struct {
+	// Query is the position of the query in Instance.Queries.
+	Query int `json:"query"`
+	// Indexes are positions in Instance.Indexes; all must be built for
+	// the plan to be available. Must be non-empty and duplicate-free.
+	Indexes []int `json:"indexes"`
+	// Speedup is qspdup(p,q) > 0, capped by the query runtime.
+	Speedup float64 `json:"speedup"`
+}
+
+// BuildInteraction states that building Target is cheaper by Speedup if
+// Helper is already deployed (§4.2 "build interactions"). The model keeps
+// the paper's pairwise assumption: when several helpers exist, the best
+// single discount applies (constraint 5 of the mathematical model).
+type BuildInteraction struct {
+	Target  int     `json:"target"`
+	Helper  int     `json:"helper"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Precedence requires Before to be deployed earlier than After
+// (§4.2 "precedence": e.g. a clustered index before secondary indexes on
+// the same MV, or correlation-exploiting indexes).
+type Precedence struct {
+	Before int `json:"before"`
+	After  int `json:"after"`
+}
+
+// Instance is a full problem instance — the content of the paper's
+// "matrix file" produced by what-if analysis.
+type Instance struct {
+	Name              string             `json:"name,omitempty"`
+	Indexes           []Index            `json:"indexes"`
+	Queries           []Query            `json:"queries"`
+	Plans             []Plan             `json:"plans"`
+	BuildInteractions []BuildInteraction `json:"build_interactions,omitempty"`
+	Precedences       []Precedence       `json:"precedences,omitempty"`
+}
+
+// N returns the number of indexes.
+func (in *Instance) N() int { return len(in.Indexes) }
+
+// QueryWeight returns the effective weight of query q (zero weight = 1).
+func (in *Instance) QueryWeight(q int) float64 {
+	w := in.Queries[q].Weight
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// BaseRuntime returns R_0: the weighted total workload runtime before any
+// index is deployed.
+func (in *Instance) BaseRuntime() float64 {
+	var sum float64
+	for q := range in.Queries {
+		sum += in.Queries[q].Runtime * in.QueryWeight(q)
+	}
+	return sum
+}
+
+// TotalCreateCost returns the sum of raw creation costs, ignoring build
+// interactions (an upper bound on deployment time).
+func (in *Instance) TotalCreateCost() float64 {
+	var sum float64
+	for i := range in.Indexes {
+		sum += in.Indexes[i].CreateCost
+	}
+	return sum
+}
+
+// Stats summarizes an instance the way the paper's Table 4 does.
+type Stats struct {
+	Queries           int // |Q|
+	Indexes           int // |I|
+	Plans             int // |P|
+	LargestPlan       int // max #indexes in one plan
+	BuildInteractions int
+	QueryInteractions int // plans using >= 2 indexes
+}
+
+// Stats computes Table-4-style statistics.
+func (in *Instance) Stats() Stats {
+	s := Stats{
+		Queries:           len(in.Queries),
+		Indexes:           len(in.Indexes),
+		Plans:             len(in.Plans),
+		BuildInteractions: len(in.BuildInteractions),
+	}
+	for _, p := range in.Plans {
+		if len(p.Indexes) > s.LargestPlan {
+			s.LargestPlan = len(p.Indexes)
+		}
+		if len(p.Indexes) >= 2 {
+			s.QueryInteractions++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|Q|=%d |I|=%d |P|=%d largest-plan=%d build-inter=%d query-inter=%d",
+		s.Queries, s.Indexes, s.Plans, s.LargestPlan, s.BuildInteractions, s.QueryInteractions)
+}

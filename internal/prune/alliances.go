@@ -1,0 +1,86 @@
+package prune
+
+import "sort"
+
+// alliances detects allied index groups (§5.1, Appendix D.2): indexes
+// whose plan memberships are identical — building a strict subset of the
+// group never completes a plan the subset's complement wouldn't, so no
+// speedup materializes until the whole group exists. Soundness of the
+// consecutive-chaining constraint additionally requires that members are
+// interchangeable: no member may help any build (inside or outside the
+// group), and no member's build may be helped by another member, so any
+// internal order has the same objective. Members are chained in
+// ascending-id order.
+func (a *analyzer) alliances(rep *Report) {
+	c := a.c
+	n := c.N
+	// Plan-membership signature per index.
+	sig := make(map[string][]int)
+	for i := 0; i < n; i++ {
+		if len(c.PlansWithIndex[i]) == 0 {
+			continue // dead index: handled by domination, not alliances
+		}
+		key := fmtInts(c.PlansWithIndex[i])
+		sig[key] = append(sig[key], i)
+	}
+	keys := make([]string, 0, len(sig))
+	for k := range sig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := sig[k]
+		if len(group) < 2 {
+			continue
+		}
+		if !a.allianceEligible(group) {
+			continue
+		}
+		// Chain the group in ascending order; count it once.
+		added := false
+		for x := 0; x+1 < len(group); x++ {
+			if a.add(group[x], group[x+1]) {
+				added = true
+			}
+		}
+		if added {
+			rep.Alliances = append(rep.Alliances, append([]int(nil), group...))
+		}
+	}
+}
+
+// allianceEligible checks the build-interaction conditions that make
+// alliance members interchangeable.
+func (a *analyzer) allianceEligible(group []int) bool {
+	inGroup := map[int]bool{}
+	for _, i := range group {
+		inGroup[i] = true
+	}
+	for _, i := range group {
+		// A member must not speed up any build (Theorem 1's "no external
+		// interactions"; internal helpers would make internal order
+		// matter).
+		if a.givesBuildHelp[i] {
+			return false
+		}
+		// A member's build must not be helped by another member.
+		for _, h := range a.c.Helpers[i] {
+			if inGroup[h.Helper] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fmtInts(xs []int) string {
+	b := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		for x >= 10 {
+			b = append(b, byte('0'+x%10))
+			x /= 10
+		}
+		b = append(b, byte('0'+x), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,46 @@
+package prune
+
+// colonized detects colonized indexes (§5.2, Appendix D.3): if every
+// plan using index i also uses index j — but not vice versa — then i
+// alone never helps, and some optimal solution builds j first. The
+// theorem additionally requires that i does not speed up any other
+// index's build (otherwise delaying i could forfeit a build discount).
+func (a *analyzer) colonized(rep *Report) {
+	c := a.c
+	n := c.N
+	for i := 0; i < n; i++ {
+		plans := c.PlansWithIndex[i]
+		if len(plans) == 0 || a.givesBuildHelp[i] {
+			continue
+		}
+		// Colonizers: indexes present in every plan of i.
+		counts := make(map[int]int)
+		for _, p := range plans {
+			for _, j := range c.PlanIdx[p] {
+				if j != i {
+					counts[j]++
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if counts[j] != len(plans) {
+				continue
+			}
+			// "Not vice versa": j must have some plan without i,
+			// otherwise i and j are allies, not colonizer/colonized.
+			vice := true
+			for _, p := range c.PlansWithIndex[j] {
+				if !contains(c.PlanIdx[p], i) {
+					vice = false
+					break
+				}
+			}
+			if vice {
+				continue
+			}
+			if a.add(j, i) {
+				rep.ColonizedPairs = append(rep.ColonizedPairs, [2]int{j, i})
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package prune
+
+import "github.com/evolving-olap/idd/internal/model"
+
+// dominated detects dominated indexes (§5.3, Appendix D.4): index i is
+// dominated by k when building k is always at least as beneficial and at
+// most as expensive as building i, in every context. The implementation
+// uses conservative bounds for the five conditions of D.4:
+//
+//  1. benefit: maxBenefit(i) < minBenefit(k) — i's best-case speedup
+//     (all co-indexes present) is strictly less than k's guaranteed
+//     speedup (even with every competing plan already available);
+//  2. cost: minCost(i) >= maxCost(k) — i's best-case build (with its best
+//     discount) still costs at least k's undiscounted build;
+//  3. helping: i never discounts any target's build more than k does;
+//  4. side effects: i appears only in singleton plans, so delaying it
+//     cannot withhold speedups from other indexes' plans;
+//  5. stability: k's own build cost is context-independent (no helpers).
+//
+// Under these, some optimal solution builds k before i. The strict
+// benefit margin prevents tie cycles between twin indexes.
+func (a *analyzer) dominated(rep *Report) {
+	c := a.c
+	n := c.N
+	const eps = 1e-12
+	for i := 0; i < n; i++ {
+		// Condition 4: i only in singleton plans (or no plans at all).
+		onlySingleton := true
+		for _, p := range c.PlansWithIndex[i] {
+			if len(c.PlanIdx[p]) > 1 {
+				onlySingleton = false
+				break
+			}
+		}
+		if !onlySingleton {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			if k == i || a.cs.Before(k, i) {
+				continue
+			}
+			if len(c.Helpers[k]) != 0 { // condition 5
+				continue
+			}
+			if a.maxBenefit[i] >= a.minBenefit[k]-eps { // condition 1
+				continue
+			}
+			if a.minCost[i] < a.maxCost[k]-eps { // condition 2
+				continue
+			}
+			if !helpsNoMoreThan(c, i, k) { // condition 3
+				continue
+			}
+			if a.add(k, i) {
+				rep.DominatedPairs = append(rep.DominatedPairs, [2]int{k, i})
+			}
+		}
+	}
+}
+
+// helpsNoMoreThan reports whether index i's build discounts are pointwise
+// at most index k's: for every target t, cspdup(t,i) <= cspdup(t,k).
+func helpsNoMoreThan(c *model.Compiled, i, k int) bool {
+	kHelp := map[int]float64{}
+	for _, t := range c.HelpsFor[k] {
+		for _, h := range c.Helpers[t] {
+			if h.Helper == k && h.Speedup > kHelp[t] {
+				kHelp[t] = h.Speedup
+			}
+		}
+	}
+	for _, t := range c.HelpsFor[i] {
+		var iSpd float64
+		for _, h := range c.Helpers[t] {
+			if h.Helper == i && h.Speedup > iSpd {
+				iSpd = h.Speedup
+			}
+		}
+		if iSpd > kHelp[t] {
+			return false
+		}
+	}
+	return true
+}

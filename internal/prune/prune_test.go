@@ -1,0 +1,397 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+// TestSoundnessOnRandomInstances is the central property test of the
+// package: on random instances, the exhaustive optimum under the
+// accumulated analysis constraints must equal the unconstrained optimum —
+// every property preserves at least one optimal solution (§5, Table 6
+// "without affecting optimality").
+func TestSoundnessOnRandomInstances(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw)%5 // 4..8 indexes: exhaustive check feasible
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = n
+		cfg.Queries = 4
+		cfg.BuildInteractionProb = 0.12
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+
+		// Baseline: optimum under the instance's own precedences (which
+		// Analyze always includes).
+		free, err := bruteforce.Solve(c, sched.PrecedenceSet(in), true)
+		if err != nil {
+			return false
+		}
+		cs, _ := Analyze(c, Options{})
+		constrained, err := bruteforce.Solve(c, cs, true)
+		if err != nil {
+			return false
+		}
+		return math.Abs(free.Objective-constrained.Objective) < 1e-6*(1+free.Objective)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoundnessPerProperty(t *testing.T) {
+	props := []Property{Alliances, Colonized, Dominated, Disjoint, Tails}
+	for _, p := range props {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 25; seed++ {
+				cfg := randgen.DefaultConfig()
+				cfg.Indexes = 6
+				cfg.Queries = 4
+				cfg.BuildInteractionProb = 0.15
+				in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+				c := model.MustCompile(in)
+				free, err := bruteforce.Solve(c, sched.PrecedenceSet(in), true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs, _ := Analyze(c, Options{Properties: p})
+				constrained, err := bruteforce.Solve(c, cs, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(free.Objective-constrained.Objective) > 1e-6*(1+free.Objective) {
+					t.Fatalf("seed %d: property %s cut off the optimum (%v vs %v)",
+						seed, p, constrained.Objective, free.Objective)
+				}
+			}
+		})
+	}
+}
+
+// allianceInstance reproduces Figure 5: i0,i2 always appear together
+// ({i0,i2} and {i0,i2,i4}), i1,i3 are allied via {i3,i5}... Construct
+// directly: plans {0,2}, {0,2,4}, {1,4}, {3,5}.
+func allianceInstance() *model.Instance {
+	idx := make([]model.Index, 6)
+	names := []string{"i1", "i2", "i3", "i4", "i5", "i6"}
+	for i := range idx {
+		idx[i] = model.Index{Name: names[i], CreateCost: 10}
+	}
+	return &model.Instance{
+		Indexes: idx,
+		Queries: []model.Query{
+			{Name: "q1", Runtime: 100},
+			{Name: "q2", Runtime: 100},
+			{Name: "q3", Runtime: 100},
+			{Name: "q4", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0, 2}, Speedup: 30},
+			{Query: 1, Indexes: []int{0, 2, 4}, Speedup: 50},
+			{Query: 2, Indexes: []int{1, 4}, Speedup: 40},
+			{Query: 3, Indexes: []int{3, 5}, Speedup: 35},
+		},
+	}
+}
+
+func TestAlliancesFigure5(t *testing.T) {
+	c := model.MustCompile(allianceInstance())
+	cs, rep := Analyze(c, Options{Properties: Alliances})
+	// {i0,i2} ally (always together); {i3,i5} ally. i1 and i4 do not
+	// (i4 appears in {0,2,4} without i1).
+	if len(rep.Alliances) != 2 {
+		t.Fatalf("found %d alliances, want 2: %+v", len(rep.Alliances), rep.Alliances)
+	}
+	if !cs.Before(0, 2) && !cs.Before(2, 0) {
+		t.Error("alliance {0,2} not chained")
+	}
+	if !cs.Before(3, 5) && !cs.Before(5, 3) {
+		t.Error("alliance {3,5} not chained")
+	}
+	if cs.Before(1, 4) || cs.Before(4, 1) {
+		t.Error("i1/i4 wrongly allied")
+	}
+}
+
+func TestColonizedFigure6(t *testing.T) {
+	// Figure 6: i0 appears only in plans that also contain i1; i1 has a
+	// solo plan. i0 is colonized by i1 (and not vice versa).
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "i1", CreateCost: 10},
+			{Name: "i2", CreateCost: 10},
+			{Name: "i3", CreateCost: 10},
+			{Name: "i4", CreateCost: 10},
+		},
+		Queries: []model.Query{
+			{Name: "q1", Runtime: 100}, {Name: "q2", Runtime: 100},
+			{Name: "q3", Runtime: 100}, {Name: "q4", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0, 1, 2}, Speedup: 30},
+			{Query: 1, Indexes: []int{0, 1, 3}, Speedup: 30},
+			{Query: 2, Indexes: []int{1}, Speedup: 20},
+			{Query: 3, Indexes: []int{2, 3}, Speedup: 10},
+		},
+	}
+	c := model.MustCompile(in)
+	cs, rep := Analyze(c, Options{Properties: Colonized})
+	if !cs.Before(1, 0) {
+		t.Error("colonizer constraint T_i1 > T_i2 missing (index 1 must precede 0)")
+	}
+	// i0 is NOT colonized by i2 or i3 (each has a plan without the other).
+	if cs.Before(2, 0) || cs.Before(3, 0) {
+		t.Error("i0 wrongly colonized by i2/i3")
+	}
+	if len(rep.ColonizedPairs) == 0 {
+		t.Error("no colonized pairs reported")
+	}
+}
+
+func TestDominatedFigure7(t *testing.T) {
+	// Figure 7 flavor: i0's best case (4) is below i1's worst case (5),
+	// equal costs, no build interactions: i1 must precede i0.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "i1", CreateCost: 10},
+			{Name: "i2", CreateCost: 10},
+			{Name: "i3", CreateCost: 10},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100},
+			{Name: "qb", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			// i0 alone: 1s; with i2 present the competing singleton of i2
+			// caps i0's contribution at 4 total.
+			{Query: 0, Indexes: []int{0}, Speedup: 4},
+			// i1: guaranteed 5s on its own query, no competitors.
+			{Query: 1, Indexes: []int{1}, Speedup: 5},
+		},
+	}
+	c := model.MustCompile(in)
+	cs, rep := Analyze(c, Options{Properties: Dominated})
+	if !cs.Before(1, 0) {
+		t.Errorf("dominated constraint missing; report: %v", rep)
+	}
+}
+
+func TestDisjointDensityOrdering(t *testing.T) {
+	// Two disjoint indexes with very different densities: the denser one
+	// must come first.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "dense", CreateCost: 10},  // density 5
+			{Name: "sparse", CreateCost: 50}, // density 0.2
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100},
+			{Name: "qb", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 50},
+			{Query: 1, Indexes: []int{1}, Speedup: 10},
+		},
+	}
+	c := model.MustCompile(in)
+	cs, rep := Analyze(c, Options{Properties: Disjoint})
+	if !cs.Before(0, 1) {
+		t.Errorf("density ordering missing; report: %v", rep)
+	}
+}
+
+func TestTailAnalysisFixesLastIndex(t *testing.T) {
+	// Five indexes; a,b,c must all precede x and y (instance
+	// precedences), so every feasible tail set of length 3 is
+	// {a|b|c, x, y} — the §5.5 situation where groups share their tail
+	// suffix. y is dead weight, so every group's champion ends ...x,y,
+	// and the suffix-agreement rule must pin y last and x second-to-last.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 10},
+			{Name: "b", CreateCost: 10},
+			{Name: "c", CreateCost: 10},
+			{Name: "x", CreateCost: 10},
+			{Name: "dead", CreateCost: 40},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100},
+			{Name: "qb", Runtime: 100},
+			{Name: "qc", Runtime: 100},
+			{Name: "qx", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 60},
+			{Query: 1, Indexes: []int{1}, Speedup: 50},
+			{Query: 2, Indexes: []int{2}, Speedup: 40},
+			{Query: 3, Indexes: []int{3}, Speedup: 10},
+		},
+		Precedences: []model.Precedence{
+			{Before: 0, After: 3}, {Before: 0, After: 4},
+			{Before: 1, After: 3}, {Before: 1, After: 4},
+			{Before: 2, After: 3}, {Before: 2, After: 4},
+		},
+	}
+	c := model.MustCompile(in)
+	cs, rep := Analyze(c, Options{Properties: Tails})
+	if len(rep.TailFixed) < 1 || rep.TailFixed[len(rep.TailFixed)-1] != 4 {
+		t.Fatalf("tail analysis did not pin the dead index last: %v", rep)
+	}
+	for i := 0; i < 4; i++ {
+		if !cs.Before(i, 4) {
+			t.Errorf("missing edge %d < dead", i)
+		}
+	}
+	if !cs.Before(0, 3) || !cs.Before(1, 3) || !cs.Before(2, 3) {
+		t.Error("x not pinned second-to-last")
+	}
+}
+
+func TestIterateAndRecursePeelsMultipleTails(t *testing.T) {
+	// Two dead indexes with different costs: the fixed point should pin
+	// both final positions (§5.6).
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 10},
+			{Name: "b", CreateCost: 10},
+			{Name: "dead1", CreateCost: 40},
+			{Name: "dead2", CreateCost: 20},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100},
+			{Name: "qb", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 60},
+			{Query: 1, Indexes: []int{1}, Speedup: 50},
+		},
+	}
+	c := model.MustCompile(in)
+	cs, _ := Analyze(c, Options{})
+	// Both dead indexes must be after both useful ones.
+	for _, dead := range []int{2, 3} {
+		for _, useful := range []int{0, 1} {
+			if !cs.Before(useful, dead) {
+				t.Errorf("missing edge %d < %d", useful, dead)
+			}
+		}
+	}
+}
+
+func TestSearchSpaceReduction(t *testing.T) {
+	// The whole point of §5: constraints shrink the feasible permutation
+	// count. Compare exhaustive visit counts with and without analysis.
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 7
+	cfg.Queries = 4
+	in := randgen.New(rand.New(rand.NewSource(99)), cfg)
+	c := model.MustCompile(in)
+	free, err := bruteforce.Solve(c, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, rep := Analyze(c, Options{})
+	if rep.Edges == 0 {
+		t.Skip("analysis found nothing on this seed")
+	}
+	constrained, err := bruteforce.Solve(c, cs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Visited >= free.Visited {
+		t.Errorf("no reduction: %d vs %d permutations", constrained.Visited, free.Visited)
+	}
+	t.Logf("search space: %d -> %d permutations (%s)", free.Visited, constrained.Visited, rep)
+}
+
+func TestPropertyString(t *testing.T) {
+	if All.String() != "ACMDT" {
+		t.Errorf("All = %q, want ACMDT", All.String())
+	}
+	if (Alliances | Colonized).String() != "AC" {
+		t.Errorf("A|C = %q", (Alliances | Colonized).String())
+	}
+	if Property(0).String() != "none" {
+		t.Errorf("zero = %q", Property(0).String())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var rep Report
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestTailPatternsFigure9(t *testing.T) {
+	// Reuse the tail-analysis fixture: all feasible tail sets are
+	// {a|b|c, x, dead}, and each group's champion ends (..., x, dead).
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 10},
+			{Name: "b", CreateCost: 10},
+			{Name: "c", CreateCost: 10},
+			{Name: "x", CreateCost: 10},
+			{Name: "dead", CreateCost: 40},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 100}, {Name: "qb", Runtime: 100},
+			{Name: "qc", Runtime: 100}, {Name: "qx", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 60},
+			{Query: 1, Indexes: []int{1}, Speedup: 50},
+			{Query: 2, Indexes: []int{2}, Speedup: 40},
+			{Query: 3, Indexes: []int{3}, Speedup: 10},
+		},
+		Precedences: []model.Precedence{
+			{Before: 0, After: 3}, {Before: 0, After: 4},
+			{Before: 1, After: 3}, {Before: 1, After: 4},
+			{Before: 2, After: 3}, {Before: 2, After: 4},
+		},
+	}
+	c := model.MustCompile(in)
+	cs := constraintFromInstance(in)
+	groups := TailPatterns(c, cs, 3, 0)
+	if len(groups) != 3 {
+		t.Fatalf("%d groups, want 3 ({a|b|c}, x, dead)", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Patterns) == 0 {
+			t.Fatal("empty group")
+		}
+		// Patterns sorted ascending; first is champion.
+		if !g.Patterns[0].Champion {
+			t.Error("first pattern not champion")
+		}
+		champ := g.Patterns[0].Perm
+		if champ[len(champ)-1] != 4 {
+			t.Errorf("champion of %v does not end with dead: %v", g.Set, champ)
+		}
+		for i := 1; i < len(g.Patterns); i++ {
+			if g.Patterns[i].Objective < g.Patterns[i-1].Objective-1e-9 {
+				t.Error("patterns not sorted by objective")
+			}
+		}
+	}
+	// Too-small length or over-cap enumeration returns nil.
+	if got := TailPatterns(c, cs, 3, 1); got != nil {
+		t.Error("cap not honored")
+	}
+}
+
+func constraintFromInstance(in *model.Instance) *constraint.Set {
+	cs := constraint.NewSet(in.N())
+	for _, p := range in.Precedences {
+		cs.MustAdd(p.Before, p.After)
+	}
+	return cs
+}

@@ -1,0 +1,121 @@
+package prune
+
+import (
+	"sort"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// TailPattern is one ordered tail candidate with its tail objective —
+// a row of the paper's Figure 9.
+type TailPattern struct {
+	// Perm is the tail sequence (last Perm[len-1] deployed very last).
+	Perm []int
+	// Objective is the area the tail steps contribute given that every
+	// non-member is already deployed.
+	Objective float64
+	// Champion marks the best pattern(s) within its tail-set group.
+	Champion bool
+}
+
+// TailGroup collects the patterns over one tail index set.
+type TailGroup struct {
+	Set      []int // ascending member positions
+	Patterns []TailPattern
+}
+
+// TailPatterns enumerates the feasible ordered tails of the given length
+// under cs (nil = unconstrained), grouped by tail set, each group sorted
+// by tail objective with champions marked — the data behind Figure 9.
+// Returns nil when the candidate count would exceed maxPatterns
+// (0 = 50000).
+func TailPatterns(c *model.Compiled, cs *constraint.Set, length, maxPatterns int) []TailGroup {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	if length <= 0 {
+		length = 3
+	}
+	if length > c.N {
+		length = c.N
+	}
+	if maxPatterns == 0 {
+		maxPatterns = 50000
+	}
+	n := c.N
+	var cands []int
+	for i := 0; i < n; i++ {
+		if cs.MaxPos(i) >= n-length {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) < length {
+		return nil
+	}
+	if patterns := binomial(len(cands), length) * factorial(length); patterns <= 0 || patterns > maxPatterns {
+		return nil
+	}
+
+	var groups []TailGroup
+	w := model.NewWalker(c)
+	forSets(cands, length, func(set []int) {
+		inSet := make(map[int]bool, length)
+		for _, m := range set {
+			inSet[m] = true
+		}
+		for _, m := range set {
+			ok := true
+			cs.Successors(m).ForEach(func(s int) bool {
+				if !inSet[s] {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return
+			}
+		}
+		w.Reset()
+		for i := 0; i < n; i++ {
+			if !inSet[i] {
+				w.Push(i)
+			}
+		}
+		objBase := w.Objective()
+		g := TailGroup{Set: append([]int(nil), set...)}
+		permute(set, func(perm []int) {
+			for x := 0; x < len(perm); x++ {
+				for y := x + 1; y < len(perm); y++ {
+					if cs.Before(perm[y], perm[x]) {
+						return
+					}
+				}
+			}
+			for _, m := range perm {
+				w.Push(m)
+			}
+			g.Patterns = append(g.Patterns, TailPattern{
+				Perm:      append([]int(nil), perm...),
+				Objective: w.Objective() - objBase,
+			})
+			for range perm {
+				w.Pop()
+			}
+		})
+		if len(g.Patterns) == 0 {
+			return
+		}
+		sort.SliceStable(g.Patterns, func(a, b int) bool {
+			return g.Patterns[a].Objective < g.Patterns[b].Objective
+		})
+		best := g.Patterns[0].Objective
+		for i := range g.Patterns {
+			g.Patterns[i].Champion = g.Patterns[i].Objective <= best+1e-9
+		}
+		groups = append(groups, g)
+	})
+	w.Reset()
+	return groups
+}

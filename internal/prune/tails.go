@@ -1,0 +1,222 @@
+package prune
+
+import (
+	"math"
+	"sort"
+
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// tails runs the tail-index analysis of §5.5 / Appendix D.6: enumerate
+// every feasible ordered tail of length L, compute each pattern's tail
+// objective (the area its L steps contribute, which depends only on the
+// preceding *set*), keep the champion(s) of every tail-set group, and
+// extract rules that hold in all champions. The rule extracted here is
+// suffix agreement: if every champion ends with the same index x, then x
+// is last in some optimal solution and everything else precedes it; the
+// check repeats inward while the agreed suffix grows. The fixed-point
+// driver (§5.6) then re-runs the analysis with the new constraints,
+// peeling further indexes.
+func (a *analyzer) tails(rep *Report, opt Options) {
+	c := a.c
+	n := c.N
+	length := opt.TailLength
+	if length == 0 {
+		length = 3
+	}
+	if length > n {
+		length = n
+	}
+	maxPatterns := opt.MaxTailPatterns
+	if maxPatterns == 0 {
+		maxPatterns = 50000
+	}
+
+	// Candidates: indexes whose latest feasible position reaches into the
+	// tail window.
+	var cands []int
+	for i := 0; i < n; i++ {
+		if a.cs.MaxPos(i) >= n-length {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) < length {
+		return // over-constrained; nothing to analyze
+	}
+	// Cost guard: #sets * L! patterns.
+	if patterns := binomial(len(cands), length) * factorial(length); patterns <= 0 || patterns > maxPatterns {
+		return
+	}
+
+	type champion struct {
+		perm []int
+		obj  float64
+	}
+	// For every candidate tail set, collect its champion permutations.
+	var champs []champion
+	w := model.NewWalker(c)
+	forSets(cands, length, func(set []int) {
+		// Feasibility of the set as a whole: every cs-successor of a
+		// member must itself be a member.
+		inSet := make(map[int]bool, length)
+		for _, m := range set {
+			inSet[m] = true
+		}
+		for _, m := range set {
+			ok := true
+			a.cs.Successors(m).ForEach(func(s int) bool {
+				if !inSet[s] {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return
+			}
+		}
+		// Push the preceding set (order irrelevant for the tail state).
+		w.Reset()
+		for i := 0; i < n; i++ {
+			if !inSet[i] {
+				w.Push(i)
+			}
+		}
+		objBase := w.Objective()
+
+		bestObj := math.Inf(1)
+		var bestPerms [][]int
+		permute(set, func(perm []int) {
+			// Relative order must respect constraints among members.
+			for x := 0; x < len(perm); x++ {
+				for y := x + 1; y < len(perm); y++ {
+					if a.cs.Before(perm[y], perm[x]) {
+						return
+					}
+				}
+			}
+			for _, m := range perm {
+				w.Push(m)
+			}
+			tailObj := w.Objective() - objBase
+			for range perm {
+				w.Pop()
+			}
+			const tol = 1e-9
+			switch {
+			case tailObj < bestObj-tol:
+				bestObj = tailObj
+				bestPerms = [][]int{append([]int(nil), perm...)}
+			case tailObj <= bestObj+tol:
+				bestPerms = append(bestPerms, append([]int(nil), perm...))
+			}
+		})
+		for _, p := range bestPerms {
+			champs = append(champs, champion{perm: p, obj: bestObj})
+		}
+	})
+	w.Reset()
+	if len(champs) == 0 {
+		return
+	}
+
+	// Suffix agreement: walk from the last tail position inward while all
+	// champions agree on the index at that position.
+	agreed := []int{}
+	for pos := length - 1; pos >= 0; pos-- {
+		x := champs[0].perm[pos]
+		for _, ch := range champs[1:] {
+			if ch.perm[pos] != x {
+				return // disagreement ends the suffix
+			}
+		}
+		// x occupies absolute position n-length+pos in some optimal
+		// solution: everything not in the agreed suffix precedes it.
+		inSuffix := map[int]bool{x: true}
+		for _, s := range agreed {
+			inSuffix[s] = true
+		}
+		for y := 0; y < n; y++ {
+			if !inSuffix[y] {
+				a.add(y, x)
+			}
+		}
+		agreed = append(agreed, x)
+		if !containsInt(rep.TailFixed, x) {
+			rep.TailFixed = append([]int{x}, rep.TailFixed...)
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func binomial(n, k int) int {
+	if k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+		if r > 1<<30 {
+			return -1 // overflow guard: treat as "too many"
+		}
+	}
+	return r
+}
+
+func factorial(k int) int {
+	r := 1
+	for i := 2; i <= k; i++ {
+		r *= i
+	}
+	return r
+}
+
+// forSets enumerates all k-subsets of cands (ascending order).
+func forSets(cands []int, k int, f func(set []int)) {
+	set := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			f(set)
+			return
+		}
+		for i := start; i <= len(cands)-(k-depth); i++ {
+			set[depth] = cands[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// permute calls f with every permutation of set (Heap's algorithm on a
+// copy; f must not retain the slice).
+func permute(set []int, f func(perm []int)) {
+	perm := append([]int(nil), set...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			f(perm)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	rec(len(perm))
+	// Restore ascending order for the caller (perm is a copy; nothing to
+	// do).
+	sort.Ints(perm)
+}

@@ -1,0 +1,159 @@
+// Package randgen generates random but structurally valid problem
+// instances. It is used for property-based tests, for the scaling
+// experiments, and as a fuzz source for the solvers. Generation is fully
+// deterministic given a seed.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// Config controls instance generation. The zero value is not usable; use
+// DefaultConfig and tweak fields.
+type Config struct {
+	Indexes int // number of indexes (>= 1)
+	Queries int // number of queries (>= 1)
+
+	// PlansPerQuery is the mean number of alternative plans per query.
+	PlansPerQuery float64
+	// MaxPlanSize is the largest number of indexes a plan may use.
+	MaxPlanSize int
+	// MultiIndexPlanProb is the probability a plan uses more than one
+	// index (a "query interaction").
+	MultiIndexPlanProb float64
+	// BuildInteractionProb is the per-ordered-pair probability of a build
+	// interaction (targets ~ p*n*(n-1) interactions overall; keep small).
+	BuildInteractionProb float64
+	// PrecedenceProb is the per-pair probability of a precedence edge
+	// (applied on a random topological order, so always acyclic).
+	PrecedenceProb float64
+
+	// QueryRuntime and CreateCost are the ranges [lo,hi) for base values.
+	QueryRuntimeLo, QueryRuntimeHi float64
+	CreateCostLo, CreateCostHi     float64
+}
+
+// DefaultConfig returns a medium-density configuration resembling the
+// TPC-H instance scale of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Indexes:              12,
+		Queries:              10,
+		PlansPerQuery:        4,
+		MaxPlanSize:          4,
+		MultiIndexPlanProb:   0.4,
+		BuildInteractionProb: 0.06,
+		PrecedenceProb:       0.02,
+		QueryRuntimeLo:       50,
+		QueryRuntimeHi:       500,
+		CreateCostLo:         10,
+		CreateCostHi:         120,
+	}
+}
+
+// New generates an instance. It panics on nonsensical configs (these are
+// programming errors in tests/benchmarks, not runtime inputs).
+func New(rng *rand.Rand, cfg Config) *model.Instance {
+	if cfg.Indexes < 1 || cfg.Queries < 1 {
+		panic("randgen: need at least one index and one query")
+	}
+	if cfg.MaxPlanSize < 1 {
+		cfg.MaxPlanSize = 1
+	}
+	if cfg.MaxPlanSize > cfg.Indexes {
+		cfg.MaxPlanSize = cfg.Indexes
+	}
+	in := &model.Instance{Name: fmt.Sprintf("rand-%d-%d", cfg.Indexes, cfg.Queries)}
+
+	for i := 0; i < cfg.Indexes; i++ {
+		in.Indexes = append(in.Indexes, model.Index{
+			Name:       fmt.Sprintf("ix%02d", i),
+			Table:      fmt.Sprintf("t%d", i%4),
+			CreateCost: uniform(rng, cfg.CreateCostLo, cfg.CreateCostHi),
+		})
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		in.Queries = append(in.Queries, model.Query{
+			Name:    fmt.Sprintf("q%02d", q),
+			Runtime: uniform(rng, cfg.QueryRuntimeLo, cfg.QueryRuntimeHi),
+		})
+	}
+
+	// Plans: per query, draw a Poisson-ish count and random index sets.
+	// Speedups are drawn as a fraction of the query runtime, and larger
+	// plans tend to be faster, so competing interactions appear naturally.
+	seen := map[string]bool{}
+	for q := 0; q < cfg.Queries; q++ {
+		nPlans := 1 + rng.Intn(int(2*cfg.PlansPerQuery))
+		for p := 0; p < nPlans; p++ {
+			size := 1
+			if cfg.MaxPlanSize >= 2 && rng.Float64() < cfg.MultiIndexPlanProb {
+				size = 2 + rng.Intn(cfg.MaxPlanSize-1)
+			}
+			set := rng.Perm(cfg.Indexes)[:size]
+			key := fmt.Sprintf("%d:%v", q, sortedCopy(set))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			frac := 0.1 + 0.8*rng.Float64()*float64(size)/float64(cfg.MaxPlanSize)
+			if frac > 0.95 {
+				frac = 0.95
+			}
+			in.Plans = append(in.Plans, model.Plan{
+				Query:   q,
+				Indexes: set,
+				Speedup: in.Queries[q].Runtime * frac,
+			})
+		}
+	}
+
+	// Build interactions: ordered pairs, discount a fraction of the
+	// target's creation cost (paper observed up to 80%).
+	for i := 0; i < cfg.Indexes; i++ {
+		for j := 0; j < cfg.Indexes; j++ {
+			if i == j || rng.Float64() >= cfg.BuildInteractionProb {
+				continue
+			}
+			in.BuildInteractions = append(in.BuildInteractions, model.BuildInteraction{
+				Target:  i,
+				Helper:  j,
+				Speedup: in.Indexes[i].CreateCost * (0.1 + 0.7*rng.Float64()),
+			})
+		}
+	}
+
+	// Precedences along a hidden random topological order => acyclic.
+	topo := rng.Perm(cfg.Indexes)
+	for a := 0; a < cfg.Indexes; a++ {
+		for b := a + 1; b < cfg.Indexes; b++ {
+			if rng.Float64() < cfg.PrecedenceProb {
+				in.Precedences = append(in.Precedences, model.Precedence{
+					Before: topo[a], After: topo[b],
+				})
+			}
+		}
+	}
+
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("randgen produced invalid instance: %v", err))
+	}
+	return in
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

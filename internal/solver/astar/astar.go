@@ -1,0 +1,152 @@
+// Package astar implements the A* exact search the paper discusses as a
+// branch-and-bound alternative (§1, §3.3): best-first search over prefix
+// states. A state is the *set* of deployed indexes — the objective of any
+// completion depends on the prefix only through its set, so states are
+// deduplicated by set with the best-known prefix objective (g). The
+// heuristic h is the same admissible completion bound used by CP and
+// bruteforce, so the first goal expansion is optimal.
+//
+// Memory grows with the number of reachable subsets (up to 2^n), which is
+// precisely why the paper dismisses A* for larger instances; MaxN caps n
+// at 24.
+package astar
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+// MaxN is the largest instance A* accepts (2^24 subsets already strains
+// memory).
+const MaxN = 24
+
+// Options bounds the search.
+type Options struct {
+	// NodeLimit aborts after expanding this many states (0 = unlimited).
+	NodeLimit int64
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Order     []int
+	Objective float64
+	// Proved is true when the returned order is proved optimal.
+	Proved bool
+	// Expanded counts expanded states; States counts distinct subsets
+	// seen (memory proxy).
+	Expanded, States int64
+}
+
+type node struct {
+	mask  uint64
+	g     float64 // exact objective of the best-known prefix for mask
+	f     float64 // g + admissible completion estimate
+	order []int
+}
+
+type pq []*node
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(*node)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Solve runs A*. cs may be nil. The error is non-nil only when the
+// instance exceeds MaxN.
+func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
+	if c.N > MaxN {
+		return Result{}, fmt.Errorf("astar: %d indexes exceeds MaxN=%d", c.N, MaxN)
+	}
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	lb := bruteforce.NewLowerBound(c)
+
+	// Precompute predecessor masks for readiness checks.
+	predMask := make([]uint64, c.N)
+	for i := 0; i < c.N; i++ {
+		cs.Predecessors(i).ForEach(func(p int) bool {
+			predMask[i] |= 1 << uint(p)
+			return true
+		})
+	}
+
+	w := model.NewWalker(c)
+	gBest := map[uint64]float64{0: 0}
+	open := &pq{&node{mask: 0, g: 0, f: 0, order: nil}}
+	goal := uint64(1)<<uint(c.N) - 1
+
+	var res Result
+	res.Objective = math.Inf(1)
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*node)
+		if best, ok := gBest[cur.mask]; ok && cur.g > best+1e-12 {
+			continue // stale entry
+		}
+		res.Expanded++
+		if opt.NodeLimit > 0 && res.Expanded > opt.NodeLimit {
+			return res, nil // aborted: Proved stays false
+		}
+		if cur.mask == goal {
+			res.Order = cur.order
+			res.Objective = cur.g
+			res.Proved = true
+			res.States = int64(len(gBest))
+			return res, nil
+		}
+		// Replay the prefix on the walker to expand successors.
+		w.Reset()
+		for _, i := range cur.order {
+			w.Push(i)
+		}
+		for i := 0; i < c.N; i++ {
+			bit := uint64(1) << uint(i)
+			if cur.mask&bit != 0 || cur.mask&predMask[i] != predMask[i] {
+				continue
+			}
+			w.Push(i)
+			ng := w.Objective()
+			nmask := cur.mask | bit
+			if old, ok := gBest[nmask]; !ok || ng < old-1e-12 {
+				gBest[nmask] = ng
+				// h: cheapest remaining best-case cost at current
+				// runtime + the rest at the floor runtime.
+				var restSum, restMin float64
+				restMin = math.Inf(1)
+				for j := 0; j < c.N; j++ {
+					if nmask&(1<<uint(j)) == 0 {
+						mc := lb.MinCost(j)
+						restSum += mc
+						if mc < restMin {
+							restMin = mc
+						}
+					}
+				}
+				h := 0.0
+				if !math.IsInf(restMin, 1) {
+					h = w.Runtime()*restMin + lb.MinRuntime()*(restSum-restMin)
+				}
+				norder := make([]int, len(cur.order)+1)
+				copy(norder, cur.order)
+				norder[len(cur.order)] = i
+				heap.Push(open, &node{mask: nmask, g: ng, f: ng + h, order: norder})
+			}
+			w.Pop()
+		}
+	}
+	res.States = int64(len(gBest))
+	return res, nil
+}

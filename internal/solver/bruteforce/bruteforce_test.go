@@ -1,0 +1,194 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+)
+
+func smallInstance(seed int64, n int) *model.Compiled {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = n
+	cfg.Queries = 5
+	cfg.BuildInteractionProb = 0.15
+	in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+	return model.MustCompile(in)
+}
+
+func TestRejectsLargeInstances(t *testing.T) {
+	c := smallInstance(1, MaxN+1)
+	if _, err := Solve(c, nil, false); err == nil {
+		t.Fatal("accepted oversized instance")
+	}
+}
+
+func TestFindsKnownOptimum(t *testing.T) {
+	// Two indexes, one query: i0 cheap and useful, i1 expensive and
+	// useless. Optimal order is clearly i0 first.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "useful", CreateCost: 5},
+			{Name: "useless", CreateCost: 50},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 100}},
+		Plans:   []model.Plan{{Query: 0, Indexes: []int{0}, Speedup: 90}},
+	}
+	c := model.MustCompile(in)
+	res, err := Solve(c, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != 0 {
+		t.Errorf("optimal order starts with %d, want 0", res.Order[0])
+	}
+	if res.Visited != 2 {
+		t.Errorf("visited %d permutations, want 2", res.Visited)
+	}
+	want := 100*5 + 10*50.0
+	if math.Abs(res.Objective-want) > 1e-9 {
+		t.Errorf("objective %v, want %v", res.Objective, want)
+	}
+}
+
+func TestBoundedMatchesUnbounded(t *testing.T) {
+	f := func(seed int64) bool {
+		c := smallInstance(seed, 6)
+		a, err := Solve(c, nil, false)
+		if err != nil {
+			return false
+		}
+		b, err := Solve(c, nil, true)
+		if err != nil {
+			return false
+		}
+		// Same optimum; the bounded run must visit no more leaves.
+		return math.Abs(a.Objective-b.Objective) < 1e-9*(1+a.Objective) &&
+			b.Visited <= a.Visited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespectsPrecedences(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 6
+	cfg.PrecedenceProb = 0.3
+	rng := rand.New(rand.NewSource(42))
+	for rep := 0; rep < 5; rep++ {
+		in := randgen.New(rng, cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		res, err := Solve(c, cs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.ValidOrder(res.Order); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		// Constrained optimum can never beat the unconstrained one.
+		free, err := Solve(c, nil, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective < free.Objective-1e-9 {
+			t.Fatalf("constrained optimum %v beats unconstrained %v", res.Objective, free.Objective)
+		}
+	}
+}
+
+func TestLowerBoundIsAdmissible(t *testing.T) {
+	// Property: for random prefixes, the bound never exceeds the true
+	// best completion.
+	f := func(seed int64) bool {
+		c := smallInstance(seed, 6)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		lb := NewLowerBound(c)
+		perm := rng.Perm(c.N)
+		w := model.NewWalker(c)
+		built := make([]bool, c.N)
+		k := rng.Intn(c.N)
+		for _, i := range perm[:k] {
+			w.Push(i)
+			built[i] = true
+		}
+		bound := lb.Complete(w, built)
+		// True best completion by enumeration over the rest.
+		best := math.Inf(1)
+		var rec func()
+		rec = func() {
+			if w.Len() == c.N {
+				if o := w.Objective(); o < best {
+					best = o
+				}
+				return
+			}
+			for i := 0; i < c.N; i++ {
+				if !built[i] {
+					built[i] = true
+					w.Push(i)
+					rec()
+					w.Pop()
+					built[i] = false
+				}
+			}
+		}
+		rec()
+		return bound <= best+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinRuntimeAndMinCost(t *testing.T) {
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 10},
+			{Name: "b", CreateCost: 20},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 100}},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 30},
+			{Query: 0, Indexes: []int{0, 1}, Speedup: 70},
+		},
+		BuildInteractions: []model.BuildInteraction{
+			{Target: 1, Helper: 0, Speedup: 15},
+		},
+	}
+	lb := NewLowerBound(model.MustCompile(in))
+	if lb.MinRuntime() != 30 {
+		t.Errorf("MinRuntime = %v, want 30", lb.MinRuntime())
+	}
+	if lb.MinCost(0) != 10 || lb.MinCost(1) != 5 {
+		t.Errorf("MinCost = %v/%v, want 10/5", lb.MinCost(0), lb.MinCost(1))
+	}
+}
+
+func TestContradictionFreeConstraintAlwaysSolvable(t *testing.T) {
+	c := smallInstance(9, 5)
+	cs := constraint.NewSet(c.N)
+	cs.MustAdd(4, 3)
+	cs.MustAdd(3, 2)
+	cs.MustAdd(2, 1)
+	cs.MustAdd(1, 0)
+	res, err := Solve(c, cs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if res.Order[i] != want[i] {
+			t.Fatalf("chain-constrained order = %v, want %v", res.Order, want)
+		}
+	}
+	if res.Visited != 1 {
+		t.Errorf("visited %d, want exactly 1 feasible permutation", res.Visited)
+	}
+}

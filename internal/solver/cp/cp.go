@@ -1,0 +1,320 @@
+// Package cp implements the constraint-programming solver of §6: a
+// branch-and-prune depth-first search over deployment positions with
+// alldifferent semantics, precedence propagation, position-bound pruning
+// from the §5 analysis constraints, an admissible objective bound, and a
+// first-fail-flavored branching order. The engine supports failure
+// limits and frozen positions, which is exactly the interface Large
+// Neighborhood Search needs (§7.2).
+package cp
+
+import (
+	"math"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+// Options controls a CP search.
+type Options struct {
+	// FailLimit aborts the search after this many backtracks (0 = no
+	// limit). LNS uses small limits (the paper uses 500).
+	FailLimit int64
+	// NodeLimit aborts after this many search nodes (0 = no limit).
+	NodeLimit int64
+	// Deadline aborts when the wall clock passes it (zero = none). The
+	// deadline is checked every few hundred nodes.
+	Deadline time.Time
+	// Incumbent, when non-nil, seeds the search with a known feasible
+	// order; only strictly better solutions are reported.
+	Incumbent []int
+	// Fixed, when non-nil, freezes positions: Fixed[k] = index that must
+	// be deployed k-th, or -1 if position k is free. Frozen positions
+	// implement LNS relaxations.
+	Fixed []int
+	// OnSolution, when non-nil, is invoked for every improving solution
+	// (with a copy of the order).
+	OnSolution func(order []int, objective float64)
+
+	// Ablation switches (benchmarks only; keep both false in real use):
+	// NaiveBranching disables the density-guided value ordering, and
+	// NoBound disables the admissible objective bound, leaving only the
+	// combinatorial (alldifferent/precedence) pruning.
+	NaiveBranching bool
+	NoBound        bool
+}
+
+// Result reports the outcome of a CP search.
+type Result struct {
+	// Order is the best solution found (nil if none and no incumbent).
+	Order []int
+	// Objective is the objective of Order (+Inf if none).
+	Objective float64
+	// Proved is true when the search space was exhausted, i.e. Order is
+	// proved optimal (under the frozen positions, if any).
+	Proved bool
+	// Nodes and Fails count search effort.
+	Nodes, Fails int64
+	// Solutions counts improving solutions found during this search.
+	Solutions int
+}
+
+type searcher struct {
+	c   *model.Compiled
+	cs  *constraint.Set
+	opt Options
+	lb  *bruteforce.LowerBound
+
+	w      *model.Walker
+	placed []bool
+	// predsLeft[i] = number of not-yet-placed predecessors of i.
+	predsLeft []int
+	// maxPos/minPos from the constraint relation (static).
+	minPos, maxPos []int
+
+	// fixedPos[i] = position index i is pinned to by Options.Fixed, or -1.
+	fixedPos []int
+
+	best      []int
+	bestObj   float64
+	nodes     int64
+	fails     int64
+	solutions int
+	aborted   bool
+}
+
+// Solve runs the CP search. cs may be nil (no precedence/analysis
+// constraints). Passing contradictory Fixed assignments yields an
+// exhausted search with no solution (Proved=true, Order=Incumbent).
+func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	s := &searcher{
+		c:         c,
+		cs:        cs,
+		opt:       opt,
+		lb:        bruteforce.NewLowerBound(c),
+		w:         model.NewWalker(c),
+		placed:    make([]bool, c.N),
+		predsLeft: make([]int, c.N),
+		minPos:    make([]int, c.N),
+		maxPos:    make([]int, c.N),
+		bestObj:   math.Inf(1),
+	}
+	for i := 0; i < c.N; i++ {
+		s.predsLeft[i] = cs.Predecessors(i).Count()
+		s.minPos[i] = cs.MinPos(i)
+		s.maxPos[i] = cs.MaxPos(i)
+	}
+	s.fixedPos = make([]int, c.N)
+	for i := range s.fixedPos {
+		s.fixedPos[i] = -1
+	}
+	if opt.Fixed != nil {
+		for p, i := range opt.Fixed {
+			if i >= 0 {
+				s.fixedPos[i] = p
+			}
+		}
+	}
+	if opt.Incumbent != nil {
+		s.best = append([]int(nil), opt.Incumbent...)
+		s.bestObj = c.Objective(opt.Incumbent)
+	}
+	s.dfs(0)
+	return Result{
+		Order:     s.best,
+		Objective: s.bestObj,
+		Proved:    !s.aborted,
+		Nodes:     s.nodes,
+		Fails:     s.fails,
+		Solutions: s.solutions,
+	}
+}
+
+// limitHit checks abort conditions; it is cheap enough to call per node.
+func (s *searcher) limitHit() bool {
+	if s.opt.FailLimit > 0 && s.fails >= s.opt.FailLimit {
+		return true
+	}
+	if s.opt.NodeLimit > 0 && s.nodes >= s.opt.NodeLimit {
+		return true
+	}
+	if !s.opt.Deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.opt.Deadline) {
+		return true
+	}
+	return false
+}
+
+// dfs extends the schedule at position k. Returns false when the search
+// must abort entirely.
+func (s *searcher) dfs(k int) bool {
+	s.nodes++
+	if s.limitHit() {
+		s.aborted = true
+		return false
+	}
+	n := s.c.N
+	if k == n {
+		obj := s.w.Objective()
+		if obj < s.bestObj-1e-12 {
+			s.bestObj = obj
+			s.best = s.w.Order()
+			s.solutions++
+			if s.opt.OnSolution != nil {
+				s.opt.OnSolution(append([]int(nil), s.best...), obj)
+			}
+		}
+		return true
+	}
+
+	// Objective bound (branch-and-prune): even the most optimistic
+	// completion cannot beat the incumbent.
+	if !s.opt.NoBound && !math.IsInf(s.bestObj, 1) {
+		if s.boundBelow() >= s.bestObj-1e-12 {
+			s.fails++
+			return true
+		}
+	}
+
+	cands := s.candidates(k)
+	if cands == nil {
+		s.fails++
+		return true
+	}
+	for _, i := range cands {
+		s.place(i)
+		ok := s.dfs(k + 1)
+		s.unplace(i)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// boundBelow returns an admissible lower bound for any completion:
+// the first remaining step pays at least the cheapest remaining
+// best-case cost at the current runtime; every other remaining step is
+// bounded by the fully-deployed runtime.
+func (s *searcher) boundBelow() float64 {
+	var restSum, restMin float64
+	restMin = math.Inf(1)
+	for i := 0; i < s.c.N; i++ {
+		if !s.placed[i] {
+			mc := s.lb.MinCost(i)
+			restSum += mc
+			if mc < restMin {
+				restMin = mc
+			}
+		}
+	}
+	if math.IsInf(restMin, 1) {
+		return s.w.Objective()
+	}
+	rmin := s.lb.MinRuntime()
+	return s.w.Objective() + s.w.Runtime()*restMin + rmin*(restSum-restMin)
+}
+
+// candidates returns the branching order for position k, or nil when the
+// node is a dead end. First-fail flavor: an index whose latest feasible
+// position is k is forced (two such indexes = failure); otherwise
+// candidates are the ready indexes ordered by current density, which
+// steers the search toward good incumbents early.
+func (s *searcher) candidates(k int) []int {
+	n := s.c.N
+	if s.opt.Fixed != nil && s.opt.Fixed[k] >= 0 {
+		i := s.opt.Fixed[k]
+		if s.placed[i] || s.predsLeft[i] > 0 || s.minPos[i] > k || s.maxPos[i] < k {
+			return nil
+		}
+		return []int{i}
+	}
+	forced := -1
+	for i := 0; i < n; i++ {
+		if s.placed[i] {
+			continue
+		}
+		if s.maxPos[i] < k {
+			return nil // missed its window: contradiction
+		}
+		if s.maxPos[i] == k {
+			if forced >= 0 {
+				return nil // two indexes need the same last slot
+			}
+			forced = i
+		}
+	}
+	if forced >= 0 {
+		if s.predsLeft[forced] > 0 || s.minPos[forced] > k {
+			return nil
+		}
+		return []int{forced}
+	}
+
+	type cand struct {
+		i       int
+		density float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		if s.placed[i] || s.predsLeft[i] > 0 || s.minPos[i] > k {
+			continue
+		}
+		// Frozen-position feasibility: if the index is pinned to another
+		// position, it cannot be placed here.
+		if s.fixedPos[i] >= 0 && s.fixedPos[i] != k {
+			continue
+		}
+		density := 0.0
+		if !s.opt.NaiveBranching {
+			density = s.w.SpeedupIfBuilt(i) / s.w.BuildCost(i)
+		}
+		cands = append(cands, cand{i: i, density: density})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Insertion sort by density desc, id asc — candidate lists are short.
+	// With NaiveBranching all densities are zero and id order remains.
+	for a := 1; a < len(cands); a++ {
+		for b := a; b > 0 && better(cands[b], cands[b-1]); b-- {
+			cands[b], cands[b-1] = cands[b-1], cands[b]
+		}
+	}
+	out := make([]int, len(cands))
+	for k2 := range cands {
+		out[k2] = cands[k2].i
+	}
+	return out
+}
+
+func better(a, b struct {
+	i       int
+	density float64
+}) bool {
+	if a.density != b.density {
+		return a.density > b.density
+	}
+	return a.i < b.i
+}
+
+func (s *searcher) place(i int) {
+	s.placed[i] = true
+	s.w.Push(i)
+	s.cs.Successors(i).ForEach(func(j int) bool {
+		s.predsLeft[j]--
+		return true
+	})
+}
+
+func (s *searcher) unplace(i int) {
+	s.cs.Successors(i).ForEach(func(j int) bool {
+		s.predsLeft[j]++
+		return true
+	})
+	s.w.Pop()
+	s.placed[i] = false
+}

@@ -1,0 +1,150 @@
+// Package dp implements the dynamic-programming ordering baseline of
+// Schnaitter et al. (Algorithm 2, Appendix C): recursively bipartition
+// the indexes by a Stoer–Wagner minimum cut of the interaction graph,
+// then merge the two sub-orders by greedily interleaving whichever front
+// index yields the larger immediate benefit. As the paper notes, the
+// algorithm ignores build costs and build interactions — that is exactly
+// why the paper's greedy beats it in Table 7.
+package dp
+
+import (
+	"github.com/evolving-olap/idd/internal/graph"
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// Solve returns the DP deployment order.
+func Solve(c *model.Compiled) []int {
+	all := make([]int, c.N)
+	for i := range all {
+		all[i] = i
+	}
+	if c.N == 1 {
+		return all
+	}
+	w := InteractionWeights(c)
+	order := split(c, w, all)
+	return order
+}
+
+// split recursively bipartitions and merges (the DP recursion).
+func split(c *model.Compiled, w [][]float64, set []int) []int {
+	if len(set) == 1 {
+		return set
+	}
+	sub := make([][]float64, len(set))
+	for a := range set {
+		sub[a] = make([]float64, len(set))
+		for b := range set {
+			sub[a][b] = w[set[a]][set[b]]
+		}
+	}
+	_, side := graph.MinCut(sub)
+	var s1, s2 []int
+	for k, v := range set {
+		if side[k] {
+			s1 = append(s1, v)
+		} else {
+			s2 = append(s2, v)
+		}
+	}
+	n1 := split(c, w, s1)
+	n2 := split(c, w, s2)
+	return merge(c, n1, n2)
+}
+
+// merge interleaves two sub-orders: at each step deploy the front index
+// with the larger immediate workload speedup given everything deployed
+// so far (benefit(Q, N ∪ front)).
+func merge(c *model.Compiled, n1, n2 []int) []int {
+	out := make([]int, 0, len(n1)+len(n2))
+	wk := model.NewWalker(c)
+	i1, i2 := 0, 0
+	for i1 < len(n1) && i2 < len(n2) {
+		b1 := wk.SpeedupIfBuilt(n1[i1])
+		b2 := wk.SpeedupIfBuilt(n2[i2])
+		if b1 >= b2 {
+			wk.Push(n1[i1])
+			out = append(out, n1[i1])
+			i1++
+		} else {
+			wk.Push(n2[i2])
+			out = append(out, n2[i2])
+			i2++
+		}
+	}
+	for ; i1 < len(n1); i1++ {
+		out = append(out, n1[i1])
+	}
+	for ; i2 < len(n2); i2++ {
+		out = append(out, n2[i2])
+	}
+	return out
+}
+
+// InteractionWeights builds the symmetric interaction graph of Appendix
+// C: for every query plan with speedup s over indexes P, each index pair
+// within P receives weight s/|P|; index pairs that only share a query
+// (via different plans) receive the minimum of their two per-plan shares.
+// Build interactions and build costs are deliberately not represented —
+// faithfully reproducing the baseline's blind spot.
+func InteractionWeights(c *model.Compiled) [][]float64 {
+	n := c.N
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for q := range c.PlansOfQuery {
+		plans := c.PlansOfQuery[q]
+		// share[p] = speedup / |indexes| for each plan of this query.
+		share := make(map[int]float64, len(plans))
+		for _, p := range plans {
+			share[p] = c.PlanSpd[p] / float64(len(c.PlanIdx[p]))
+		}
+		// Within-plan pairs.
+		perQuery := make(map[[2]int]float64)
+		for _, p := range plans {
+			idx := c.PlanIdx[p]
+			for a := 0; a < len(idx); a++ {
+				for b := a + 1; b < len(idx); b++ {
+					k := pairKey(idx[a], idx[b])
+					if share[p] > perQuery[k] {
+						perQuery[k] = share[p]
+					}
+				}
+			}
+		}
+		// Cross-plan pairs: min of the two plans' shares.
+		for ai := 0; ai < len(plans); ai++ {
+			for bi := ai + 1; bi < len(plans); bi++ {
+				pa, pb := plans[ai], plans[bi]
+				m := share[pa]
+				if share[pb] < m {
+					m = share[pb]
+				}
+				for _, a := range c.PlanIdx[pa] {
+					for _, b := range c.PlanIdx[pb] {
+						if a == b {
+							continue
+						}
+						k := pairKey(a, b)
+						if m > perQuery[k] {
+							perQuery[k] = m
+						}
+					}
+				}
+			}
+		}
+		for k, wt := range perQuery {
+			w[k[0]][k[1]] += wt
+			w[k[1]][k[0]] += wt
+		}
+	}
+	return w
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

@@ -1,0 +1,128 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+func TestSolveIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 20
+	cfg.PrecedenceProb = 0
+	in := randgen.New(rng, cfg)
+	c := model.MustCompile(in)
+	order := Solve(c)
+	if err := in.ValidOrder(order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleIndex(t *testing.T) {
+	in := &model.Instance{
+		Indexes: []model.Index{{Name: "only", CreateCost: 3}},
+		Queries: []model.Query{{Name: "q", Runtime: 10}},
+		Plans:   []model.Plan{{Query: 0, Indexes: []int{0}, Speedup: 4}},
+	}
+	order := Solve(model.MustCompile(in))
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestInteractionWeightsAppendixCExample(t *testing.T) {
+	// Appendix C worked example: plan A speeds a query by 10s with
+	// indexes {0,1,2}; plan B by 5s with {3,4}. Then pairs within A get
+	// 10/3, the pair in B gets 5/2, and cross pairs get min = 2.5.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "i1", CreateCost: 1}, {Name: "i2", CreateCost: 1},
+			{Name: "i3", CreateCost: 1}, {Name: "i4", CreateCost: 1},
+			{Name: "i5", CreateCost: 1},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 100}},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0, 1, 2}, Speedup: 10},
+			{Query: 0, Indexes: []int{3, 4}, Speedup: 5},
+		},
+	}
+	w := InteractionWeights(model.MustCompile(in))
+	third := 10.0 / 3.0
+	if d := w[0][1] - third; d > 1e-9 || d < -1e-9 {
+		t.Errorf("w[0][1] = %v, want %v", w[0][1], third)
+	}
+	if w[3][4] != 2.5 {
+		t.Errorf("w[3][4] = %v, want 2.5", w[3][4])
+	}
+	if w[0][3] != 2.5 {
+		t.Errorf("cross-plan w[0][3] = %v, want 2.5 (min of shares)", w[0][3])
+	}
+	for i := range w {
+		for j := range w {
+			if w[i][j] != w[j][i] {
+				t.Fatalf("weights not symmetric at %d,%d", i, j)
+			}
+		}
+		if w[i][i] != 0 {
+			t.Fatalf("nonzero diagonal at %d", i)
+		}
+	}
+}
+
+func TestMergePrefersBeneficialFront(t *testing.T) {
+	// Two singleton clusters: one index speeds up a big query, the other
+	// does nothing. The merge must deploy the beneficial one first.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "good", CreateCost: 5},
+			{Name: "dead", CreateCost: 5},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 100}},
+		Plans:   []model.Plan{{Query: 0, Indexes: []int{0}, Speedup: 50}},
+	}
+	c := model.MustCompile(in)
+	got := merge(c, []int{1}, []int{0})
+	if got[0] != 0 {
+		t.Errorf("merge order = %v, want good index first", got)
+	}
+}
+
+func TestDPIgnoresBuildCost(t *testing.T) {
+	// Two indexes with equal speedups but wildly different build costs:
+	// DP cannot distinguish them (the paper's criticism). Verify the
+	// interaction weights are cost-independent.
+	mk := func(cost float64) [][]float64 {
+		in := &model.Instance{
+			Indexes: []model.Index{
+				{Name: "a", CreateCost: cost},
+				{Name: "b", CreateCost: 1},
+			},
+			Queries: []model.Query{{Name: "q", Runtime: 100}},
+			Plans:   []model.Plan{{Query: 0, Indexes: []int{0, 1}, Speedup: 60}},
+		}
+		return InteractionWeights(model.MustCompile(in))
+	}
+	cheap, pricey := mk(1), mk(1000)
+	if cheap[0][1] != pricey[0][1] {
+		t.Error("interaction weights should not depend on build cost")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 15
+	cfg.PrecedenceProb = 0
+	in := randgen.New(rng, cfg)
+	c := model.MustCompile(in)
+	a := Solve(c)
+	b := Solve(c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DP not deterministic")
+		}
+	}
+}

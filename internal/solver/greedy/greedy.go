@@ -1,0 +1,91 @@
+// Package greedy implements the interaction-guided greedy algorithm of
+// §7.4 / Appendix C (Algorithm 1). At every step it deploys the ready
+// index with the highest density, where the benefit counts the immediate
+// query speedup plus a share of every not-yet-feasible plan the index
+// participates in (future interaction opportunities), and the cost is the
+// current build cost including build-interaction discounts.
+package greedy
+
+import (
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// Solve returns the greedy deployment order. cs may be nil when the
+// instance has no precedence constraints.
+func Solve(c *model.Compiled, cs *constraint.Set) []int {
+	n := c.N
+	w := model.NewWalker(c)
+	order := make([]int, 0, n)
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+
+	for len(order) < n {
+		best, bestDensity, bestCost := -1, -1.0, 0.0
+		for i := 0; i < n; i++ {
+			if !remaining[i] || !ready(i, remaining, cs) {
+				continue
+			}
+			benefit := benefitOf(c, w, i)
+			cost := w.BuildCost(i)
+			density := benefit / cost
+			// Tie-breaks: higher density, then cheaper build, then
+			// smaller id (determinism).
+			if best == -1 || density > bestDensity+1e-12 ||
+				(density > bestDensity-1e-12 && cost < bestCost) {
+				best, bestDensity, bestCost = i, density, cost
+			}
+		}
+		w.Push(best)
+		order = append(order, best)
+		remaining[best] = false
+	}
+	return order
+}
+
+// ready reports whether all precedence predecessors of i are deployed.
+func ready(i int, remaining []bool, cs *constraint.Set) bool {
+	if cs == nil {
+		return true
+	}
+	ok := true
+	cs.Predecessors(i).ForEach(func(p int) bool {
+		if remaining[p] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// benefitOf evaluates Algorithm 1's benefit for deploying i now:
+// the direct runtime drop plus, for every plan containing i that stays
+// infeasible, the plan's remaining improvement divided equally among the
+// plan's not-yet-deployed indexes.
+func benefitOf(c *model.Compiled, w *model.Walker, i int) float64 {
+	// Direct benefit: how much the workload runtime drops when i is
+	// deployed now.
+	benefit := w.SpeedupIfBuilt(i)
+	w.Push(i)
+
+	for _, p := range c.PlansWithIndex[i] {
+		missing := w.PlanMissing(p)
+		if missing == 0 {
+			continue // plan (now) feasible; captured by direct benefit
+		}
+		q := c.PlanQuery[p]
+		// interaction = current runtime of q - runtime if p were used.
+		planRuntime := c.Inst.Queries[q].Runtime*c.Inst.QueryWeight(q) - c.PlanSpd[p]
+		interaction := w.QueryRuntime(q) - planRuntime
+		if interaction > 0 {
+			// Share among the indexes still missing plus i itself (the
+			// paper divides by |p \ N| with i not yet in N).
+			benefit += interaction / float64(missing+1)
+		}
+	}
+	w.Pop()
+	return benefit
+}

@@ -1,0 +1,145 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+func TestIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 20
+	in := randgen.New(rng, cfg)
+	c := model.MustCompile(in)
+	order := Solve(c, sched.PrecedenceSet(in))
+	if err := in.ValidOrder(order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespectsPrecedences(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 15
+	cfg.PrecedenceProb = 0.2
+	for rep := 0; rep < 10; rep++ {
+		in := randgen.New(rng, cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		order := Solve(c, cs)
+		if err := in.ValidOrder(order); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}
+
+func TestPrefersHighDensityIndex(t *testing.T) {
+	// i0: cheap with a big speedup (density 9). i1: expensive with a
+	// modest speedup (density 0.5). Greedy must start with i0.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "dense", CreateCost: 10},
+			{Name: "sparse", CreateCost: 40},
+		},
+		Queries: []model.Query{
+			{Name: "qa", Runtime: 200},
+			{Name: "qb", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 90},
+			{Query: 1, Indexes: []int{1}, Speedup: 20},
+		},
+	}
+	order := Solve(model.MustCompile(in), nil)
+	if order[0] != 0 {
+		t.Errorf("greedy started with %d, want 0", order[0])
+	}
+}
+
+func TestSeesFutureInteraction(t *testing.T) {
+	// i0 alone: tiny speedup (1). i1 alone: nothing. i0+i1: huge speedup.
+	// A myopic benefit/cost rule would start with i2 (medium standalone
+	// benefit); the interaction share must pull i0/i1 forward.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "j0", CreateCost: 10},
+			{Name: "j1", CreateCost: 10},
+			{Name: "solo", CreateCost: 10},
+		},
+		Queries: []model.Query{
+			{Name: "join", Runtime: 1000},
+			{Name: "scan", Runtime: 100},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 1},
+			{Query: 0, Indexes: []int{0, 1}, Speedup: 900},
+			{Query: 1, Indexes: []int{2}, Speedup: 30},
+		},
+	}
+	c := model.MustCompile(in)
+	order := Solve(c, nil)
+	// The pair {0,1} should be deployed before the solo index.
+	pos := make([]int, 3)
+	for k, ix := range order {
+		pos[ix] = k
+	}
+	if pos[2] != 2 {
+		t.Errorf("order = %v: solo index should come last", order)
+	}
+}
+
+func TestGreedyBeatsRandomOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 14
+	var greedyWins int
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		in := randgen.New(rng, cfg)
+		c := model.MustCompile(in)
+		g := c.Objective(Solve(c, nil))
+		var avg float64
+		const draws = 30
+		for d := 0; d < draws; d++ {
+			avg += c.Objective(rng.Perm(c.N))
+		}
+		avg /= draws
+		if g < avg {
+			greedyWins++
+		}
+	}
+	if greedyWins < reps-1 {
+		t.Errorf("greedy beat the random average only %d/%d times", greedyWins, reps)
+	}
+}
+
+func TestNearOptimalOnTinyInstances(t *testing.T) {
+	// Greedy has no guarantee, but on tiny instances it should stay
+	// within a reasonable factor of the optimum and never be invalid.
+	rng := rand.New(rand.NewSource(21))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 6
+	var ratioSum float64
+	const reps = 15
+	for rep := 0; rep < reps; rep++ {
+		in := randgen.New(rng, cfg)
+		c := model.MustCompile(in)
+		opt, err := bruteforce.Solve(c, nil, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Objective(Solve(c, nil))
+		if g < opt.Objective-1e-9 {
+			t.Fatalf("greedy %v beat the exhaustive optimum %v", g, opt.Objective)
+		}
+		ratioSum += g / opt.Objective
+	}
+	if avg := ratioSum / reps; avg > 1.5 {
+		t.Errorf("greedy averages %.2fx optimum on tiny instances (want <= 1.5x)", avg)
+	}
+}

@@ -1,0 +1,123 @@
+package local
+
+import (
+	"math"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/sched"
+)
+
+// Anneal runs simulated annealing over the swap/insert neighborhood —
+// one of the metaheuristics §7 lists but does not evaluate; included as
+// an additional baseline. Moves mix position swaps and single-index
+// re-insertions; worsening moves are accepted with probability
+// exp(-delta/T) under a geometric cooling schedule calibrated to the
+// instance's objective scale.
+func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	if opt.Rng == nil {
+		panic("local: Anneal requires Options.Rng")
+	}
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	n := c.N
+	b := newBudget(&opt)
+	cur := append([]int(nil), opt.Initial...)
+	curObj := c.Objective(cur)
+	tr := &tracker{b: b, onImprove: opt.OnImprove}
+	tr.record(cur, curObj)
+	best := append([]int(nil), cur...)
+
+	// Initial temperature: accept a typical early worsening move (~0.5%
+	// of the objective) with probability ~0.8.
+	temp := 0.005 * curObj / 0.22
+	const cooling = 0.999
+	cand := make([]int, n)
+
+	for !b.exhausted() {
+		b.spend(1)
+		a, bb := opt.Rng.Intn(n), opt.Rng.Intn(n)
+		if a == bb {
+			continue
+		}
+		copy(cand, cur)
+		if opt.Rng.Intn(2) == 0 {
+			if !sched.SwapFeasible(cur, a, bb, cs) {
+				continue
+			}
+			sched.ApplySwap(cand, a, bb)
+		} else {
+			if !sched.InsertFeasible(cur, a, bb, cs) {
+				continue
+			}
+			sched.ApplyInsert(cand, a, bb)
+		}
+		obj := c.Objective(cand)
+		delta := obj - curObj
+		if delta <= 0 || opt.Rng.Float64() < math.Exp(-delta/temp) {
+			copy(cur, cand)
+			curObj = obj
+			if curObj < tr.best-1e-12 {
+				tr.record(cur, curObj)
+				copy(best, cur)
+			}
+		}
+		temp *= cooling
+		if temp < 1e-9*curObj {
+			// Reheat: a frozen annealer is a random-restart hill climber
+			// with no restarts; bump the temperature instead.
+			temp = 0.001 * curObj
+		}
+	}
+	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps}
+}
+
+// InsertSearch runs steepest-descent over the single-index re-insertion
+// neighborhood (remove one index, re-insert at the best position). The
+// insertion neighborhood reaches orders the swap neighborhood cannot in
+// one step (it shifts a whole block), which matters for schedules where
+// one index must jump across a long stretch.
+func InsertSearch(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	n := c.N
+	b := newBudget(&opt)
+	cur := append([]int(nil), opt.Initial...)
+	curObj := c.Objective(cur)
+	tr := &tracker{b: b, onImprove: opt.OnImprove}
+	tr.record(cur, curObj)
+	cand := make([]int, n)
+
+	improved := true
+	for improved && !b.exhausted() {
+		improved = false
+		bestObj := curObj
+		bestFrom, bestTo := -1, -1
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to || !sched.InsertFeasible(cur, from, to, cs) {
+					continue
+				}
+				copy(cand, cur)
+				sched.ApplyInsert(cand, from, to)
+				obj := c.Objective(cand)
+				b.spend(1)
+				if obj < bestObj-1e-12 {
+					bestObj, bestFrom, bestTo = obj, from, to
+				}
+				if b.exhausted() {
+					break
+				}
+			}
+		}
+		if bestFrom >= 0 {
+			sched.ApplyInsert(cur, bestFrom, bestTo)
+			curObj = bestObj
+			tr.record(cur, curObj)
+			improved = true
+		}
+	}
+	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps}
+}

@@ -1,0 +1,122 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+)
+
+func TestAnnealImprovesRandomStart(t *testing.T) {
+	_, c := makeInstance(50, 16)
+	rng := rand.New(rand.NewSource(1))
+	init := rng.Perm(c.N)
+	initObj := c.Objective(init)
+	res := Anneal(c, nil, Options{Initial: init, MaxSteps: 30000, Rng: rng})
+	if res.Objective >= initObj {
+		t.Fatalf("SA failed to improve: %v >= %v", res.Objective, initObj)
+	}
+	if got := c.Objective(res.Order); got != res.Objective {
+		t.Fatalf("reported best %v but order evaluates to %v", res.Objective, got)
+	}
+}
+
+func TestAnnealNearOptimalOnTiny(t *testing.T) {
+	_, c := makeInstance(51, 7)
+	opt, err := bruteforce.Solve(c, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Anneal(c, nil, Options{
+		Initial:  greedy.Solve(c, nil),
+		MaxSteps: 50000,
+		Rng:      rand.New(rand.NewSource(2)),
+	})
+	if res.Objective > 1.02*opt.Objective {
+		t.Errorf("SA %v vs optimum %v", res.Objective, opt.Objective)
+	}
+}
+
+func TestAnnealRespectsPrecedences(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 12
+	cfg.PrecedenceProb = 0.2
+	in := randgen.New(rand.New(rand.NewSource(3)), cfg)
+	c := model.MustCompile(in)
+	cs := sched.PrecedenceSet(in)
+	res := Anneal(c, cs, Options{
+		Initial:  greedy.Solve(c, cs),
+		MaxSteps: 10000,
+		Rng:      rand.New(rand.NewSource(4)),
+	})
+	if err := in.ValidOrder(res.Order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealPanicsWithoutRng(t *testing.T) {
+	_, c := makeInstance(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Anneal(c, nil, Options{Initial: sched.Identity(c.N), MaxSteps: 10})
+}
+
+func TestInsertSearchDescends(t *testing.T) {
+	_, c := makeInstance(52, 14)
+	rng := rand.New(rand.NewSource(5))
+	init := rng.Perm(c.N)
+	res := InsertSearch(c, nil, Options{Initial: init, MaxSteps: 100000})
+	if res.Objective > c.Objective(init) {
+		t.Fatal("insertion descent worsened the start")
+	}
+	// Local optimality: no single re-insertion improves further.
+	cur := res.Order
+	for from := 0; from < c.N; from++ {
+		for to := 0; to < c.N; to++ {
+			if from == to {
+				continue
+			}
+			cand := append([]int(nil), cur...)
+			sched.ApplyInsert(cand, from, to)
+			if c.Objective(cand) < res.Objective-1e-9 {
+				t.Fatalf("not insertion-optimal: move %d->%d improves", from, to)
+			}
+		}
+	}
+}
+
+func TestInsertSearchEscapesSwapLocalOptimum(t *testing.T) {
+	// Construct a schedule where a block shift (one insertion) improves
+	// but any single swap is neutral or worse: index b must jump from
+	// the end to the front across two unrelated indexes.
+	in := &model.Instance{
+		Indexes: []model.Index{
+			{Name: "x", CreateCost: 50},
+			{Name: "y", CreateCost: 50},
+			{Name: "b", CreateCost: 1},
+		},
+		Queries: []model.Query{
+			{Name: "qx", Runtime: 100},
+			{Name: "qy", Runtime: 100},
+			{Name: "qb", Runtime: 500},
+		},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 60},
+			{Query: 1, Indexes: []int{1}, Speedup: 60},
+			{Query: 2, Indexes: []int{2}, Speedup: 450},
+		},
+	}
+	c := model.MustCompile(in)
+	start := []int{0, 1, 2} // b last: terrible (its query dominates)
+	res := InsertSearch(c, nil, Options{Initial: start, MaxSteps: 10000})
+	if res.Order[0] != 2 {
+		t.Errorf("insertion search should move b first, got %v", res.Order)
+	}
+}

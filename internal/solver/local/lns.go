@@ -1,0 +1,84 @@
+package local
+
+import (
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+)
+
+// LNS runs Large Neighborhood Search (§7.2) with fixed parameters: each
+// iteration relaxes a random RelaxFraction of the indexes (default 5%),
+// freezes the rest at their current positions, and asks the CP engine to
+// re-optimize the relaxed slots under a failure limit (default 500).
+func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	if opt.Rng == nil {
+		panic("local: LNS requires Options.Rng")
+	}
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	b := newBudget(&opt)
+	cur := append([]int(nil), opt.Initial...)
+	curObj := c.Objective(cur)
+	tr := &tracker{b: b, onImprove: opt.OnImprove}
+	tr.record(cur, curObj)
+
+	relax := opt.RelaxFraction
+	if relax == 0 {
+		relax = 0.05
+	}
+	failLimit := opt.FailLimit
+	if failLimit == 0 {
+		failLimit = 500
+	}
+	size := max(2, int(relax*float64(c.N)+0.5))
+
+	for !b.exhausted() {
+		improved, _, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
+		b.spend(nodes)
+		if improved != nil {
+			cur = improved
+			curObj = c.Objective(cur)
+			if curObj < tr.best-1e-12 {
+				tr.record(cur, curObj)
+			}
+		}
+	}
+	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps}
+}
+
+// relaxAndSolve performs one LNS iteration: pick `size` random indexes,
+// free their positions, and CP-search the neighborhood. It returns the
+// improved order (nil if none), whether the neighborhood was exhausted
+// (a proof that no better solution exists within it), and the CP nodes
+// consumed.
+func relaxAndSolve(c *model.Compiled, cs *constraint.Set, cur []int, curObj float64,
+	size int, failLimit int64, b *budgetTracker, opt Options) (improved []int, proof bool, nodes int64) {
+
+	n := c.N
+	if size > n {
+		size = n
+	}
+	relaxed := make(map[int]bool, size)
+	for len(relaxed) < size {
+		relaxed[opt.Rng.Intn(n)] = true
+	}
+	fixed := make([]int, n)
+	for p, ix := range cur {
+		if relaxed[p] {
+			fixed[p] = -1
+		} else {
+			fixed[p] = ix
+		}
+	}
+	res := cp.Solve(c, cs, cp.Options{
+		FailLimit: failLimit,
+		NodeLimit: b.remainingSteps(),
+		Incumbent: cur,
+		Fixed:     fixed,
+	})
+	if res.Solutions > 0 && res.Objective < curObj-1e-12 {
+		return res.Order, res.Proved, res.Nodes
+	}
+	return nil, res.Proved, res.Nodes
+}

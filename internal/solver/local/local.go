@@ -1,0 +1,130 @@
+// Package local implements the local search methods of §7: two Tabu
+// Search variants (TS-BSwap, TS-FSwap), Large Neighborhood Search (LNS)
+// on top of the CP engine, and the adaptive Variable Neighborhood Search
+// (VNS) that the paper finds most scalable and stable. All searchers
+// record anytime trajectories so the experiment harness can regenerate
+// Figures 11–13.
+package local
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// TrajPoint is one improvement event of an anytime search.
+type TrajPoint struct {
+	Elapsed   time.Duration // wall time since the search started
+	Steps     int64         // search steps consumed so far
+	Objective float64       // new best objective
+}
+
+// Trajectory is the sequence of improvements, best objective last.
+type Trajectory []TrajPoint
+
+// BestAt returns the best objective known at the given elapsed time
+// (useful for plotting step curves); +Inf before the first point.
+func (tr Trajectory) BestAt(d time.Duration) float64 {
+	best := inf()
+	for _, p := range tr {
+		if p.Elapsed <= d {
+			best = p.Objective
+		}
+	}
+	return best
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Options are shared by all local searches.
+type Options struct {
+	// Initial is the starting order (required; use greedy.Solve).
+	Initial []int
+	// Budget is the wall-clock budget (0 = unlimited; then MaxSteps must
+	// be set).
+	Budget time.Duration
+	// MaxSteps bounds the number of search steps — move evaluations for
+	// Tabu, CP search nodes for LNS/VNS — making runs deterministic for
+	// tests (0 = unlimited).
+	MaxSteps int64
+	// Rng drives randomized decisions; required for LNS/VNS.
+	Rng *rand.Rand
+	// Tabu search: tenure in iterations (0 = max(7, n/8)).
+	TabuTenure int
+	// LNS: fraction of indexes relaxed per iteration (0 = 0.05).
+	RelaxFraction float64
+	// LNS: CP failure limit per relaxation (0 = 500).
+	FailLimit int64
+	// VNS: number of relaxations per adaptation group (0 = 20).
+	GroupSize int
+	// OnImprove, when non-nil, is invoked for every new best solution
+	// with a copy of the order (used by the Figure 13 decomposition).
+	OnImprove func(order []int, objective float64)
+}
+
+// Result is the outcome of a local search run.
+type Result struct {
+	Order     []int
+	Objective float64
+	Traj      Trajectory
+	Steps     int64
+}
+
+// budgetTracker enforces Options.Budget / Options.MaxSteps.
+type budgetTracker struct {
+	start    time.Time
+	deadline time.Time
+	maxSteps int64
+	steps    int64
+}
+
+func newBudget(opt *Options) *budgetTracker {
+	b := &budgetTracker{start: time.Now(), maxSteps: opt.MaxSteps}
+	if opt.Budget > 0 {
+		b.deadline = b.start.Add(opt.Budget)
+	}
+	return b
+}
+
+func (b *budgetTracker) spend(n int64) { b.steps += n }
+
+func (b *budgetTracker) exhausted() bool {
+	if b.maxSteps > 0 && b.steps >= b.maxSteps {
+		return true
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return true
+	}
+	return false
+}
+
+func (b *budgetTracker) remainingSteps() int64 {
+	if b.maxSteps == 0 {
+		return 1 << 40
+	}
+	r := b.maxSteps - b.steps
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// tracker accumulates the trajectory of improvements.
+type tracker struct {
+	b         *budgetTracker
+	traj      Trajectory
+	best      float64
+	onImprove func(order []int, objective float64)
+}
+
+func (t *tracker) record(order []int, obj float64) {
+	t.best = obj
+	t.traj = append(t.traj, TrajPoint{
+		Elapsed:   time.Since(t.b.start),
+		Steps:     t.b.steps,
+		Objective: obj,
+	})
+	if t.onImprove != nil {
+		t.onImprove(append([]int(nil), order...), obj)
+	}
+}

@@ -1,0 +1,231 @@
+package local
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+)
+
+func makeInstance(seed int64, n int) (*model.Instance, *model.Compiled) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = n
+	cfg.Queries = n
+	cfg.BuildInteractionProb = 0.08
+	in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+	return in, model.MustCompile(in)
+}
+
+type method struct {
+	name string
+	run  func(c *model.Compiled, opt Options) Result
+}
+
+func allMethods() []method {
+	return []method{
+		{"TS-BSwap", func(c *model.Compiled, opt Options) Result { return TabuBSwap(c, nil, opt) }},
+		{"TS-FSwap", func(c *model.Compiled, opt Options) Result { return TabuFSwap(c, nil, opt) }},
+		{"LNS", func(c *model.Compiled, opt Options) Result { return LNS(c, nil, opt) }},
+		{"VNS", func(c *model.Compiled, opt Options) Result { return VNS(c, nil, opt) }},
+	}
+}
+
+func TestAllMethodsNeverWorsenInitial(t *testing.T) {
+	_, c := makeInstance(1, 16)
+	init := greedy.Solve(c, nil)
+	initObj := c.Objective(init)
+	for _, m := range allMethods() {
+		t.Run(m.name, func(t *testing.T) {
+			res := m.run(c, Options{
+				Initial:  init,
+				MaxSteps: 20000,
+				Rng:      rand.New(rand.NewSource(2)),
+			})
+			if res.Objective > initObj+1e-9 {
+				t.Errorf("%s worsened the greedy solution: %v > %v", m.name, res.Objective, initObj)
+			}
+			if got := c.Objective(res.Order); math.Abs(got-res.Objective) > 1e-6*(1+got) {
+				t.Errorf("%s reported objective %v but order evaluates to %v", m.name, res.Objective, got)
+			}
+		})
+	}
+}
+
+func TestAllMethodsImproveRandomInitial(t *testing.T) {
+	// Starting from a random permutation, every method should find
+	// something substantially better on a medium instance.
+	_, c := makeInstance(3, 18)
+	rng := rand.New(rand.NewSource(4))
+	init := rng.Perm(c.N)
+	initObj := c.Objective(init)
+	for _, m := range allMethods() {
+		t.Run(m.name, func(t *testing.T) {
+			res := m.run(c, Options{
+				Initial:  init,
+				MaxSteps: 30000,
+				Rng:      rand.New(rand.NewSource(5)),
+			})
+			if res.Objective >= initObj {
+				t.Errorf("%s failed to improve a random initial (%v >= %v)", m.name, res.Objective, initObj)
+			}
+		})
+	}
+}
+
+func TestMethodsReachOptimumOnTinyInstance(t *testing.T) {
+	_, c := makeInstance(6, 7)
+	opt, err := bruteforce.Solve(c, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := greedy.Solve(c, nil)
+	for _, m := range allMethods() {
+		t.Run(m.name, func(t *testing.T) {
+			res := m.run(c, Options{
+				Initial:  init,
+				MaxSteps: 60000,
+				Rng:      rand.New(rand.NewSource(7)),
+			})
+			// Tabu's swap neighborhood cannot always reach the optimum;
+			// allow 5% slack for the TS variants but require LNS/VNS to
+			// nail tiny instances.
+			slack := 1.05
+			if m.name == "LNS" || m.name == "VNS" {
+				slack = 1.0 + 1e-9
+			}
+			if res.Objective > slack*opt.Objective {
+				t.Errorf("%s: %v vs optimum %v", m.name, res.Objective, opt.Objective)
+			}
+		})
+	}
+}
+
+func TestTrajectoryMonotoneAndBudgetRespected(t *testing.T) {
+	_, c := makeInstance(8, 14)
+	init := greedy.Solve(c, nil)
+	for _, m := range allMethods() {
+		t.Run(m.name, func(t *testing.T) {
+			res := m.run(c, Options{
+				Initial:  init,
+				MaxSteps: 5000,
+				Rng:      rand.New(rand.NewSource(9)),
+			})
+			prev := math.Inf(1)
+			for _, p := range res.Traj {
+				if p.Objective >= prev {
+					t.Errorf("trajectory not strictly improving: %v then %v", prev, p.Objective)
+				}
+				prev = p.Objective
+			}
+			if len(res.Traj) == 0 {
+				t.Error("empty trajectory (initial solution should be recorded)")
+			}
+			// Tabu may overshoot by at most one sweep; LNS/VNS by one CP
+			// run. Allow 3x slack but catch unbounded loops.
+			if res.Steps > 3*5000 {
+				t.Errorf("steps = %d far exceeds budget 5000", res.Steps)
+			}
+		})
+	}
+}
+
+func TestTabuRespectsPrecedences(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 12
+	cfg.PrecedenceProb = 0.2
+	rng := rand.New(rand.NewSource(10))
+	in := randgen.New(rng, cfg)
+	c := model.MustCompile(in)
+	cs := sched.PrecedenceSet(in)
+	init := greedy.Solve(c, cs)
+	for _, tc := range []struct {
+		name string
+		run  func() Result
+	}{
+		{"TS-BSwap", func() Result {
+			return TabuBSwap(c, cs, Options{Initial: init, MaxSteps: 5000})
+		}},
+		{"TS-FSwap", func() Result {
+			return TabuFSwap(c, cs, Options{Initial: init, MaxSteps: 5000})
+		}},
+		{"LNS", func() Result {
+			return LNS(c, cs, Options{Initial: init, MaxSteps: 5000, Rng: rand.New(rand.NewSource(2))})
+		}},
+		{"VNS", func() Result {
+			return VNS(c, cs, Options{Initial: init, MaxSteps: 5000, Rng: rand.New(rand.NewSource(2))})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := tc.run()
+			if err := in.ValidOrder(res.Order); err != nil {
+				t.Fatalf("%s produced infeasible order: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestVNSBeatsOrMatchesLNSOnAverage(t *testing.T) {
+	// The paper's headline local-search claim (Figures 11/12): VNS is at
+	// least as good as fixed-parameter LNS. Check on a few seeds with an
+	// equal step budget.
+	var vnsWins, ties, lnsWins int
+	for seed := int64(0); seed < 6; seed++ {
+		_, c := makeInstance(20+seed, 24)
+		init := greedy.Solve(c, nil)
+		optV := VNS(c, nil, Options{Initial: init, MaxSteps: 40000, Rng: rand.New(rand.NewSource(seed))})
+		optL := LNS(c, nil, Options{Initial: init, MaxSteps: 40000, Rng: rand.New(rand.NewSource(seed))})
+		switch {
+		case optV.Objective < optL.Objective-1e-9:
+			vnsWins++
+		case optL.Objective < optV.Objective-1e-9:
+			lnsWins++
+		default:
+			ties++
+		}
+	}
+	if vnsWins+ties < lnsWins {
+		t.Errorf("VNS lost to LNS overall: %d wins, %d ties, %d losses", vnsWins, ties, lnsWins)
+	}
+}
+
+func TestWallClockBudget(t *testing.T) {
+	_, c := makeInstance(30, 20)
+	init := greedy.Solve(c, nil)
+	start := time.Now()
+	VNS(c, nil, Options{Initial: init, Budget: 50 * time.Millisecond, Rng: rand.New(rand.NewSource(1))})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("VNS ran %v against a 50ms budget", elapsed)
+	}
+}
+
+func TestBestAt(t *testing.T) {
+	tr := Trajectory{
+		{Elapsed: 1 * time.Second, Objective: 10},
+		{Elapsed: 2 * time.Second, Objective: 7},
+	}
+	if tr.BestAt(500*time.Millisecond) < 1e300 {
+		t.Error("BestAt before first point should be +inf-ish")
+	}
+	if got := tr.BestAt(1500 * time.Millisecond); got != 10 {
+		t.Errorf("BestAt(1.5s) = %v, want 10", got)
+	}
+	if got := tr.BestAt(3 * time.Second); got != 7 {
+		t.Errorf("BestAt(3s) = %v, want 7", got)
+	}
+}
+
+func TestLNSPanicsWithoutRng(t *testing.T) {
+	_, c := makeInstance(1, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LNS(c, nil, Options{Initial: sched.Identity(c.N), MaxSteps: 10})
+}

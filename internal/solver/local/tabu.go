@@ -1,0 +1,104 @@
+package local
+
+import (
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/sched"
+)
+
+// TabuBSwap runs best-improvement Tabu Search (§7.1 TS-BSwap): every
+// iteration evaluates all feasible position swaps outside the tabu list
+// and applies the best one (even if worsening, to escape local optima).
+// An aspiration criterion allows tabu moves that improve the global best.
+func TabuBSwap(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	return tabu(c, cs, opt, false)
+}
+
+// TabuFSwap runs first-improvement Tabu Search (§7.1 TS-FSwap): each
+// iteration applies the first improving non-tabu swap it finds, falling
+// back to the best non-tabu move when no swap improves. Cheaper per
+// iteration than TS-BSwap but less informed.
+func TabuFSwap(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	return tabu(c, cs, opt, true)
+}
+
+func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool) Result {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	n := c.N
+	b := newBudget(&opt)
+	cur := append([]int(nil), opt.Initial...)
+	curObj := c.Objective(cur)
+	tr := &tracker{b: b, onImprove: opt.OnImprove}
+	tr.record(cur, curObj)
+	best := append([]int(nil), cur...)
+
+	tenure := opt.TabuTenure
+	if tenure == 0 {
+		tenure = max(7, n/8)
+	}
+	// tabuUntil[i] = iteration until which moving index i is forbidden.
+	tabuUntil := make([]int, n)
+	cand := make([]int, n)
+
+	for iter := 1; !b.exhausted(); iter++ {
+		bestA, bestB := -1, -1
+		bestDelta := inf()
+		found := false
+	scan:
+		for a := 0; a < n-1; a++ {
+			for bb := a + 1; bb < n; bb++ {
+				ia, ib := cur[a], cur[bb]
+				tabu := iter < tabuUntil[ia] || iter < tabuUntil[ib]
+				if !sched.SwapFeasible(cur, a, bb, cs) {
+					continue
+				}
+				copy(cand, cur)
+				sched.ApplySwap(cand, a, bb)
+				obj := c.Objective(cand)
+				b.spend(1)
+				delta := obj - curObj
+				// Aspiration: a tabu move is allowed if it beats the
+				// global best.
+				if tabu && obj >= tr.best {
+					continue
+				}
+				if delta < bestDelta {
+					bestDelta, bestA, bestB = delta, a, bb
+					found = true
+					if firstImprove && delta < -1e-12 {
+						break scan
+					}
+				}
+				if b.exhausted() {
+					break scan
+				}
+			}
+		}
+		if !found {
+			break // fully tabu or fully infeasible neighborhood
+		}
+		ia, ib := cur[bestA], cur[bestB]
+		sched.ApplySwap(cur, bestA, bestB)
+		curObj += bestDelta
+		tabuUntil[ia] = iter + tenure
+		tabuUntil[ib] = iter + tenure
+		if curObj < tr.best-1e-12 {
+			// Re-evaluate exactly to avoid delta drift accumulating.
+			curObj = c.Objective(cur)
+			if curObj < tr.best-1e-12 {
+				tr.record(cur, curObj)
+				copy(best, cur)
+			}
+		}
+	}
+	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

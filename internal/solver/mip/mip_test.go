@@ -1,0 +1,131 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+func tiny(seed int64, n, q int) (*model.Instance, *model.Compiled) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = n
+	cfg.Queries = q
+	cfg.PlansPerQuery = 2
+	cfg.MaxPlanSize = 2
+	cfg.BuildInteractionProb = 0.1
+	cfg.PrecedenceProb = 0
+	in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+	return in, model.MustCompile(in)
+}
+
+func TestBuildReportsBlowup(t *testing.T) {
+	_, c4 := tiny(1, 4, 3)
+	_, c8 := tiny(1, 8, 6)
+	f4 := Build(c4, nil, Options{TimestepsPerIndex: 4})
+	f8 := Build(c8, nil, Options{TimestepsPerIndex: 4})
+	if f4.Vars <= 0 || f4.Rows <= 0 {
+		t.Fatal("empty formulation")
+	}
+	// The time-indexed formulation grows superlinearly (D = k*n, Z alone
+	// is n*D = k*n^2): doubling n must far more than double variables.
+	if f8.Vars < 3*f4.Vars {
+		t.Errorf("blow-up not visible: %d -> %d vars", f4.Vars, f8.Vars)
+	}
+	t.Logf("MIP size: n=4: %d vars / %d rows; n=8: %d vars / %d rows",
+		f4.Vars, f4.Rows, f8.Vars, f8.Rows)
+}
+
+func TestSolveFindsGoodOrderOnTinyInstance(t *testing.T) {
+	in, c := tiny(2, 4, 3)
+	bf, err := bruteforce.Solve(c, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(c, nil, Options{TimestepsPerIndex: 4, NodeLimit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidOrder(res.Order); err != nil {
+		t.Fatal(err)
+	}
+	// Discretization loses accuracy (§6.1), so allow 15% slack — but a
+	// working MIP must land near the optimum on 4 indexes.
+	if res.Objective > 1.15*bf.Objective {
+		t.Errorf("MIP objective %v vs optimum %v", res.Objective, bf.Objective)
+	}
+	if res.Bound > res.Objective+1e-6 {
+		// The root LP bound is in discretized units; it must at least be
+		// finite and below the discretized incumbent — sanity check only.
+		t.Logf("note: root bound %v, exact objective %v (different units)", res.Bound, res.Objective)
+	}
+}
+
+func TestAnalysisConstraintsShrinkSearch(t *testing.T) {
+	_, c := tiny(5, 4, 3)
+	free, err := Solve(c, nil, Options{TimestepsPerIndex: 3, NodeLimit: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrain with the optimal first index (as §5 analysis would).
+	cs := constraint.NewSet(c.N)
+	for _, j := range free.Order[1:] {
+		cs.MustAdd(free.Order[0], j)
+	}
+	constrained, err := Solve(c, cs, Options{TimestepsPerIndex: 3, NodeLimit: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Nodes > free.Nodes {
+		t.Errorf("constraints increased nodes: %d > %d", constrained.Nodes, free.Nodes)
+	}
+	if constrained.Order[0] != free.Order[0] {
+		t.Errorf("fixed B edge ignored: first index %d, want %d", constrained.Order[0], free.Order[0])
+	}
+}
+
+func TestNodeLimitAborts(t *testing.T) {
+	_, c := tiny(7, 5, 4)
+	res, err := Solve(c, nil, Options{TimestepsPerIndex: 3, NodeLimit: 3})
+	if err != nil {
+		// With 3 nodes the solver may not reach any integral solution —
+		// that is an acceptable outcome for this test.
+		t.Logf("no incumbent within 3 nodes: %v", err)
+		return
+	}
+	if res.Proved {
+		t.Error("3-node run claimed a proof")
+	}
+}
+
+func TestObjectiveConsistentWithExactEvaluator(t *testing.T) {
+	_, c := tiny(4, 4, 3)
+	res, err := Solve(c, nil, Options{TimestepsPerIndex: 4, NodeLimit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Objective(res.Order); math.Abs(got-res.Objective) > 1e-9*(1+got) {
+		t.Errorf("reported %v but exact evaluation gives %v", res.Objective, got)
+	}
+}
+
+func TestRefusesOversizedFormulation(t *testing.T) {
+	_, c := tiny(11, 8, 6)
+	_, err := Solve(c, nil, Options{TimestepsPerIndex: 1000})
+	if err == nil {
+		t.Fatal("oversized formulation accepted")
+	}
+	v, r := EstimateSize(c, Options{TimestepsPerIndex: 4})
+	if v <= 0 || r <= 0 {
+		t.Fatalf("estimate %d/%d", v, r)
+	}
+	// The estimate should be within 2x of the real build.
+	f := Build(c, nil, Options{TimestepsPerIndex: 4})
+	if f.Vars > 2*v || v > 2*f.Vars || f.Rows > 2*r || r > 2*f.Rows {
+		t.Errorf("estimate %d/%d far from actual %d/%d", v, r, f.Vars, f.Rows)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sql defines the minimal SQL-ish workload intermediate
+// representation shared by the schema definitions (internal/tpch,
+// internal/tpcds), the cost-model simulator (internal/dbsim) and the
+// index advisor (internal/advisor): tables with statistics, and analytic
+// queries as predicate/join/group-by structures with estimated
+// selectivities. Parsing SQL text is out of scope — the paper's pipeline
+// consumes optimizer estimates, never query text.
+package sql
+
+import "fmt"
+
+// Column is a table column with the statistics the cost model needs.
+type Column struct {
+	Name     string
+	Distinct int64 // number of distinct values (>=1)
+	Width    int   // average width in bytes
+}
+
+// Table is a base table with cardinality statistics.
+type Table struct {
+	Name    string
+	Rows    int64
+	Columns []Column
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// RowWidth is the average row width in bytes.
+func (t *Table) RowWidth() int {
+	w := 0
+	for i := range t.Columns {
+		w += t.Columns[i].Width
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// Schema is a set of tables.
+type Schema struct {
+	Name   string
+	Tables []*Table
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table {
+	for _, t := range s.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ColRef names a column of a table.
+type ColRef struct {
+	Table, Column string
+}
+
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// PredKind distinguishes equality from range predicates: equality
+// predicates extend an index prefix match; a range predicate terminates
+// it.
+type PredKind int8
+
+// Predicate kinds.
+const (
+	Eq PredKind = iota
+	Range
+)
+
+// Predicate is a filter on a single column with an estimated selectivity
+// (fraction of rows passing, in (0,1]).
+type Predicate struct {
+	Col         ColRef
+	Kind        PredKind
+	Selectivity float64
+}
+
+// Join is an equi-join edge between two tables.
+type Join struct {
+	Left, Right ColRef
+}
+
+// Query is one analytic query.
+type Query struct {
+	Name string
+	// Tables referenced (access paths are chosen per table).
+	Tables []string
+	// Predicates are single-table filters.
+	Predicates []Predicate
+	// Joins are equi-join edges; the join graph must keep the query
+	// connected for the cost model's left-deep pipeline to make sense.
+	Joins []Join
+	// GroupBy/OrderBy columns (sort avoidance opportunities).
+	GroupBy []ColRef
+	OrderBy []ColRef
+	// Select lists output columns per table (covering-index analysis).
+	Select []ColRef
+	// Weight is the query's frequency in the workload (0 = 1).
+	Weight float64
+}
+
+// TablePredicates returns the query's predicates on one table.
+func (q *Query) TablePredicates(table string) []Predicate {
+	var out []Predicate
+	for _, p := range q.Predicates {
+		if p.Col.Table == table {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinColumns returns the join columns of one table within this query.
+func (q *Query) JoinColumns(table string) []string {
+	var out []string
+	add := func(c ColRef) {
+		if c.Table == table {
+			for _, e := range out {
+				if e == c.Column {
+					return
+				}
+			}
+			out = append(out, c.Column)
+		}
+	}
+	for _, j := range q.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	return out
+}
+
+// NeededColumns returns every column of the given table the query touches
+// (predicates, joins, group/order, select) — the set a covering index
+// must contain.
+func (q *Query) NeededColumns(table string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(c ColRef) {
+		if c.Table == table && !seen[c.Column] {
+			seen[c.Column] = true
+			out = append(out, c.Column)
+		}
+	}
+	for _, p := range q.Predicates {
+		add(p.Col)
+	}
+	for _, j := range q.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	for _, c := range q.GroupBy {
+		add(c)
+	}
+	for _, c := range q.OrderBy {
+		add(c)
+	}
+	for _, c := range q.Select {
+		add(c)
+	}
+	return out
+}
+
+// Validate checks referential integrity of a query against a schema.
+func (q *Query) Validate(s *Schema) error {
+	inQuery := map[string]bool{}
+	for _, tn := range q.Tables {
+		t := s.Table(tn)
+		if t == nil {
+			return fmt.Errorf("query %s: unknown table %q", q.Name, tn)
+		}
+		inQuery[tn] = true
+	}
+	check := func(c ColRef, what string) error {
+		if !inQuery[c.Table] {
+			return fmt.Errorf("query %s: %s references table %q not in FROM", q.Name, what, c.Table)
+		}
+		if s.Table(c.Table).Column(c.Column) == nil {
+			return fmt.Errorf("query %s: %s references unknown column %s", q.Name, what, c)
+		}
+		return nil
+	}
+	for _, p := range q.Predicates {
+		if err := check(p.Col, "predicate"); err != nil {
+			return err
+		}
+		if p.Selectivity <= 0 || p.Selectivity > 1 {
+			return fmt.Errorf("query %s: predicate on %s has selectivity %v", q.Name, p.Col, p.Selectivity)
+		}
+	}
+	for _, j := range q.Joins {
+		if err := check(j.Left, "join"); err != nil {
+			return err
+		}
+		if err := check(j.Right, "join"); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.GroupBy {
+		if err := check(c, "group by"); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.OrderBy {
+		if err := check(c, "order by"); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.Select {
+		if err := check(c, "select"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateWorkload validates a whole workload.
+func ValidateWorkload(s *Schema, queries []*Query) error {
+	names := map[string]bool{}
+	for _, q := range queries {
+		if names[q.Name] {
+			return fmt.Errorf("duplicate query name %q", q.Name)
+		}
+		names[q.Name] = true
+		if err := q.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

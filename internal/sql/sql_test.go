@@ -1,0 +1,118 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func schema() *Schema {
+	return &Schema{
+		Name: "s",
+		Tables: []*Table{
+			{Name: "t", Rows: 100, Columns: []Column{
+				{Name: "a", Distinct: 10, Width: 4},
+				{Name: "b", Distinct: 100, Width: 8},
+			}},
+			{Name: "u", Rows: 10, Columns: []Column{
+				{Name: "a", Distinct: 10, Width: 4},
+				{Name: "c", Distinct: 5, Width: 4},
+			}},
+		},
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := schema()
+	if s.Table("t") == nil || s.Table("nope") != nil {
+		t.Fatal("Table lookup broken")
+	}
+	tb := s.Table("t")
+	if tb.Column("a") == nil || tb.Column("zz") != nil {
+		t.Fatal("Column lookup broken")
+	}
+	if tb.RowWidth() != 12 {
+		t.Errorf("RowWidth = %d, want 12", tb.RowWidth())
+	}
+	if (&Table{Name: "e"}).RowWidth() <= 0 {
+		t.Error("empty table must have positive default width")
+	}
+}
+
+func validQuery() *Query {
+	return &Query{
+		Name:   "q",
+		Tables: []string{"t", "u"},
+		Predicates: []Predicate{
+			{Col: ColRef{Table: "t", Column: "a"}, Kind: Eq, Selectivity: 0.1},
+			{Col: ColRef{Table: "u", Column: "c"}, Kind: Range, Selectivity: 0.5},
+		},
+		Joins:   []Join{{Left: ColRef{Table: "t", Column: "a"}, Right: ColRef{Table: "u", Column: "a"}}},
+		GroupBy: []ColRef{{Table: "u", Column: "c"}},
+		Select:  []ColRef{{Table: "t", Column: "b"}},
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	q := validQuery()
+	if got := q.TablePredicates("t"); len(got) != 1 || got[0].Col.Column != "a" {
+		t.Errorf("TablePredicates(t) = %v", got)
+	}
+	if got := q.JoinColumns("u"); len(got) != 1 || got[0] != "a" {
+		t.Errorf("JoinColumns(u) = %v", got)
+	}
+	needT := q.NeededColumns("t")
+	if len(needT) != 2 { // a (pred+join), b (select)
+		t.Errorf("NeededColumns(t) = %v", needT)
+	}
+	needU := q.NeededColumns("u")
+	if len(needU) != 2 { // c (pred+group), a (join)
+		t.Errorf("NeededColumns(u) = %v", needU)
+	}
+	if ref := (ColRef{Table: "t", Column: "a"}); ref.String() != "t.a" {
+		t.Errorf("ColRef.String = %q", ref.String())
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validQuery().Validate(schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWorkload(schema(), []*Query{validQuery()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Query)
+		want   string
+	}{
+		{"unknown table", func(q *Query) { q.Tables = append(q.Tables, "zz") }, "unknown table"},
+		{"pred off-from", func(q *Query) { q.Predicates[0].Col.Table = "w" }, "not in FROM"},
+		{"pred bad col", func(q *Query) { q.Predicates[0].Col.Column = "zz" }, "unknown column"},
+		{"pred bad sel", func(q *Query) { q.Predicates[0].Selectivity = 0 }, "selectivity"},
+		{"pred sel too big", func(q *Query) { q.Predicates[0].Selectivity = 1.5 }, "selectivity"},
+		{"join bad", func(q *Query) { q.Joins[0].Right.Column = "zz" }, "unknown column"},
+		{"group bad", func(q *Query) { q.GroupBy[0].Column = "zz" }, "unknown column"},
+		{"order bad", func(q *Query) { q.OrderBy = []ColRef{{Table: "t", Column: "zz"}} }, "unknown column"},
+		{"select bad", func(q *Query) { q.Select[0].Column = "zz" }, "unknown column"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := validQuery()
+			tc.mutate(q)
+			err := q.Validate(schema())
+			if err == nil {
+				t.Fatal("broken query accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q lacks %q", err, tc.want)
+			}
+		})
+	}
+	dup := []*Query{validQuery(), validQuery()}
+	if err := ValidateWorkload(schema(), dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names not rejected: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package tpcds
+
+import (
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/sql"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if len(s.Tables) != 24 {
+		t.Fatalf("%d tables, want 24", len(s.Tables))
+	}
+	if s.Table("store_sales").Rows != 2_880_404 {
+		t.Error("store_sales cardinality wrong")
+	}
+	if s.Table("inventory").Rows != 11_745_000 {
+		t.Error("inventory cardinality wrong")
+	}
+}
+
+func TestWorkloadValidates(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 102 {
+		t.Fatalf("%d queries, want 102", len(qs))
+	}
+	if err := sql.ValidateWorkload(Schema(), qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadVariety(t *testing.T) {
+	facts := map[string]int{}
+	maxTables := 0
+	for _, q := range Queries() {
+		facts[q.Tables[0]]++
+		if len(q.Tables) > maxTables {
+			maxTables = len(q.Tables)
+		}
+	}
+	if len(facts) < 7 {
+		t.Errorf("only %d distinct fact tables used", len(facts))
+	}
+	if maxTables < 6 {
+		t.Errorf("widest query has only %d tables", maxTables)
+	}
+}

@@ -1,0 +1,394 @@
+// Package tpch defines the TPC-H benchmark schema (scale factor 1
+// cardinalities) and its 22-query workload as the sql IR. The queries are
+// structural approximations of the official templates: the tables, join
+// edges, filter columns and group/order columns follow the spec, and the
+// selectivities are the standard substitution-parameter estimates. That
+// is the level of fidelity the ordering problem consumes — the paper
+// itself never executes queries, only optimizer estimates.
+package tpch
+
+import "github.com/evolving-olap/idd/internal/sql"
+
+// Schema returns the TPC-H schema at scale factor 1.
+func Schema() *sql.Schema {
+	return &sql.Schema{
+		Name: "tpch",
+		Tables: []*sql.Table{
+			{Name: "region", Rows: 5, Columns: []sql.Column{
+				{Name: "r_regionkey", Distinct: 5, Width: 4},
+				{Name: "r_name", Distinct: 5, Width: 12},
+			}},
+			{Name: "nation", Rows: 25, Columns: []sql.Column{
+				{Name: "n_nationkey", Distinct: 25, Width: 4},
+				{Name: "n_name", Distinct: 25, Width: 12},
+				{Name: "n_regionkey", Distinct: 5, Width: 4},
+			}},
+			{Name: "supplier", Rows: 10_000, Columns: []sql.Column{
+				{Name: "s_suppkey", Distinct: 10_000, Width: 4},
+				{Name: "s_name", Distinct: 10_000, Width: 24},
+				{Name: "s_nationkey", Distinct: 25, Width: 4},
+				{Name: "s_acctbal", Distinct: 9_000, Width: 8},
+				{Name: "s_comment", Distinct: 10_000, Width: 60},
+			}},
+			{Name: "customer", Rows: 150_000, Columns: []sql.Column{
+				{Name: "c_custkey", Distinct: 150_000, Width: 4},
+				{Name: "c_name", Distinct: 150_000, Width: 24},
+				{Name: "c_nationkey", Distinct: 25, Width: 4},
+				{Name: "c_mktsegment", Distinct: 5, Width: 12},
+				{Name: "c_acctbal", Distinct: 140_000, Width: 8},
+				{Name: "c_phone", Distinct: 150_000, Width: 16},
+			}},
+			{Name: "part", Rows: 200_000, Columns: []sql.Column{
+				{Name: "p_partkey", Distinct: 200_000, Width: 4},
+				{Name: "p_name", Distinct: 200_000, Width: 36},
+				{Name: "p_brand", Distinct: 25, Width: 12},
+				{Name: "p_type", Distinct: 150, Width: 26},
+				{Name: "p_size", Distinct: 50, Width: 4},
+				{Name: "p_container", Distinct: 40, Width: 12},
+				{Name: "p_retailprice", Distinct: 20_000, Width: 8},
+			}},
+			{Name: "partsupp", Rows: 800_000, Columns: []sql.Column{
+				{Name: "ps_partkey", Distinct: 200_000, Width: 4},
+				{Name: "ps_suppkey", Distinct: 10_000, Width: 4},
+				{Name: "ps_availqty", Distinct: 10_000, Width: 4},
+				{Name: "ps_supplycost", Distinct: 100_000, Width: 8},
+			}},
+			{Name: "orders", Rows: 1_500_000, Columns: []sql.Column{
+				{Name: "o_orderkey", Distinct: 1_500_000, Width: 4},
+				{Name: "o_custkey", Distinct: 100_000, Width: 4},
+				{Name: "o_orderstatus", Distinct: 3, Width: 1},
+				{Name: "o_totalprice", Distinct: 1_400_000, Width: 8},
+				{Name: "o_orderdate", Distinct: 2_406, Width: 4},
+				{Name: "o_orderpriority", Distinct: 5, Width: 16},
+				{Name: "o_shippriority", Distinct: 1, Width: 4},
+				{Name: "o_comment", Distinct: 1_500_000, Width: 48},
+			}},
+			{Name: "lineitem", Rows: 6_001_215, Columns: []sql.Column{
+				{Name: "l_orderkey", Distinct: 1_500_000, Width: 4},
+				{Name: "l_partkey", Distinct: 200_000, Width: 4},
+				{Name: "l_suppkey", Distinct: 10_000, Width: 4},
+				{Name: "l_linenumber", Distinct: 7, Width: 4},
+				{Name: "l_quantity", Distinct: 50, Width: 8},
+				{Name: "l_extendedprice", Distinct: 900_000, Width: 8},
+				{Name: "l_discount", Distinct: 11, Width: 8},
+				{Name: "l_tax", Distinct: 9, Width: 8},
+				{Name: "l_returnflag", Distinct: 3, Width: 1},
+				{Name: "l_linestatus", Distinct: 2, Width: 1},
+				{Name: "l_shipdate", Distinct: 2_526, Width: 4},
+				{Name: "l_commitdate", Distinct: 2_466, Width: 4},
+				{Name: "l_receiptdate", Distinct: 2_554, Width: 4},
+				{Name: "l_shipinstruct", Distinct: 4, Width: 16},
+				{Name: "l_shipmode", Distinct: 7, Width: 10},
+			}},
+		},
+	}
+}
+
+func cr(t, c string) sql.ColRef { return sql.ColRef{Table: t, Column: c} }
+
+func eq(t, c string, sel float64) sql.Predicate {
+	return sql.Predicate{Col: cr(t, c), Kind: sql.Eq, Selectivity: sel}
+}
+
+func rng(t, c string, sel float64) sql.Predicate {
+	return sql.Predicate{Col: cr(t, c), Kind: sql.Range, Selectivity: sel}
+}
+
+func join(lt, lc, rt, rc string) sql.Join {
+	return sql.Join{Left: cr(lt, lc), Right: cr(rt, rc)}
+}
+
+// Queries returns the 22-query TPC-H workload.
+func Queries() []*sql.Query {
+	return []*sql.Query{
+		{ // Q1: pricing summary report
+			Name:   "q1",
+			Tables: []string{"lineitem"},
+			Predicates: []sql.Predicate{
+				rng("lineitem", "l_shipdate", 0.98),
+			},
+			GroupBy: []sql.ColRef{cr("lineitem", "l_returnflag"), cr("lineitem", "l_linestatus")},
+			Select:  []sql.ColRef{cr("lineitem", "l_quantity"), cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("lineitem", "l_tax")},
+		},
+		{ // Q2: minimum cost supplier
+			Name:   "q2",
+			Tables: []string{"part", "supplier", "partsupp", "nation", "region"},
+			Predicates: []sql.Predicate{
+				eq("part", "p_size", 0.02),
+				rng("part", "p_type", 0.033),
+				eq("region", "r_name", 0.2),
+			},
+			Joins: []sql.Join{
+				join("part", "p_partkey", "partsupp", "ps_partkey"),
+				join("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			OrderBy: []sql.ColRef{cr("supplier", "s_acctbal")},
+			Select:  []sql.ColRef{cr("supplier", "s_name"), cr("partsupp", "ps_supplycost"), cr("part", "p_name")},
+		},
+		{ // Q3: shipping priority
+			Name:   "q3",
+			Tables: []string{"customer", "orders", "lineitem"},
+			Predicates: []sql.Predicate{
+				eq("customer", "c_mktsegment", 0.2),
+				rng("orders", "o_orderdate", 0.48),
+				rng("lineitem", "l_shipdate", 0.54),
+			},
+			Joins: []sql.Join{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			GroupBy: []sql.ColRef{cr("lineitem", "l_orderkey")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("orders", "o_shippriority")},
+		},
+		{ // Q4: order priority checking
+			Name:   "q4",
+			Tables: []string{"orders", "lineitem"},
+			Predicates: []sql.Predicate{
+				rng("orders", "o_orderdate", 0.038),
+				rng("lineitem", "l_commitdate", 0.63),
+			},
+			Joins:   []sql.Join{join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+			GroupBy: []sql.ColRef{cr("orders", "o_orderpriority")},
+		},
+		{ // Q5: local supplier volume
+			Name:   "q5",
+			Tables: []string{"customer", "orders", "lineitem", "supplier", "nation", "region"},
+			Predicates: []sql.Predicate{
+				eq("region", "r_name", 0.2),
+				rng("orders", "o_orderdate", 0.152),
+			},
+			Joins: []sql.Join{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			GroupBy: []sql.ColRef{cr("nation", "n_name")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount")},
+		},
+		{ // Q6: forecasting revenue change
+			Name:   "q6",
+			Tables: []string{"lineitem"},
+			Predicates: []sql.Predicate{
+				rng("lineitem", "l_shipdate", 0.152),
+				rng("lineitem", "l_discount", 0.27),
+				rng("lineitem", "l_quantity", 0.48),
+			},
+			Select: []sql.ColRef{cr("lineitem", "l_extendedprice")},
+		},
+		{ // Q7: volume shipping
+			Name:   "q7",
+			Tables: []string{"supplier", "lineitem", "orders", "customer", "nation"},
+			Predicates: []sql.Predicate{
+				eq("nation", "n_name", 0.08),
+				rng("lineitem", "l_shipdate", 0.304),
+			},
+			Joins: []sql.Join{
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []sql.ColRef{cr("nation", "n_name")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("lineitem", "l_shipdate")},
+		},
+		{ // Q8: national market share
+			Name:   "q8",
+			Tables: []string{"part", "supplier", "lineitem", "orders", "customer", "nation", "region"},
+			Predicates: []sql.Predicate{
+				eq("part", "p_type", 0.0067),
+				rng("orders", "o_orderdate", 0.304),
+				eq("region", "r_name", 0.2),
+			},
+			Joins: []sql.Join{
+				join("part", "p_partkey", "lineitem", "l_partkey"),
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				join("orders", "o_custkey", "customer", "c_custkey"),
+				join("customer", "c_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			GroupBy: []sql.ColRef{cr("orders", "o_orderdate")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount")},
+		},
+		{ // Q9: product type profit measure
+			Name:   "q9",
+			Tables: []string{"part", "supplier", "lineitem", "partsupp", "orders", "nation"},
+			Predicates: []sql.Predicate{
+				rng("part", "p_name", 0.054),
+			},
+			Joins: []sql.Join{
+				join("part", "p_partkey", "lineitem", "l_partkey"),
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("partsupp", "ps_partkey", "lineitem", "l_partkey"),
+				join("partsupp", "ps_suppkey", "lineitem", "l_suppkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []sql.ColRef{cr("nation", "n_name"), cr("orders", "o_orderdate")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("partsupp", "ps_supplycost"), cr("lineitem", "l_quantity")},
+		},
+		{ // Q10: returned item reporting
+			Name:   "q10",
+			Tables: []string{"customer", "orders", "lineitem", "nation"},
+			Predicates: []sql.Predicate{
+				rng("orders", "o_orderdate", 0.038),
+				eq("lineitem", "l_returnflag", 0.33),
+			},
+			Joins: []sql.Join{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("customer", "c_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []sql.ColRef{cr("customer", "c_custkey")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("customer", "c_acctbal"), cr("nation", "n_name")},
+		},
+		{ // Q11: important stock identification
+			Name:   "q11",
+			Tables: []string{"partsupp", "supplier", "nation"},
+			Predicates: []sql.Predicate{
+				eq("nation", "n_name", 0.04),
+			},
+			Joins: []sql.Join{
+				join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []sql.ColRef{cr("partsupp", "ps_partkey")},
+			Select:  []sql.ColRef{cr("partsupp", "ps_supplycost"), cr("partsupp", "ps_availqty")},
+		},
+		{ // Q12: shipping modes and order priority
+			Name:   "q12",
+			Tables: []string{"orders", "lineitem"},
+			Predicates: []sql.Predicate{
+				eq("lineitem", "l_shipmode", 0.29),
+				rng("lineitem", "l_receiptdate", 0.152),
+			},
+			Joins:   []sql.Join{join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+			GroupBy: []sql.ColRef{cr("lineitem", "l_shipmode")},
+			Select:  []sql.ColRef{cr("orders", "o_orderpriority")},
+		},
+		{ // Q13: customer distribution
+			Name:   "q13",
+			Tables: []string{"customer", "orders"},
+			Predicates: []sql.Predicate{
+				rng("orders", "o_comment", 0.99),
+			},
+			Joins:   []sql.Join{join("customer", "c_custkey", "orders", "o_custkey")},
+			GroupBy: []sql.ColRef{cr("customer", "c_custkey")},
+		},
+		{ // Q14: promotion effect
+			Name:   "q14",
+			Tables: []string{"lineitem", "part"},
+			Predicates: []sql.Predicate{
+				rng("lineitem", "l_shipdate", 0.0126),
+			},
+			Joins:  []sql.Join{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Select: []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("part", "p_type")},
+		},
+		{ // Q15: top supplier
+			Name:   "q15",
+			Tables: []string{"supplier", "lineitem"},
+			Predicates: []sql.Predicate{
+				rng("lineitem", "l_shipdate", 0.038),
+			},
+			Joins:   []sql.Join{join("supplier", "s_suppkey", "lineitem", "l_suppkey")},
+			GroupBy: []sql.ColRef{cr("lineitem", "l_suppkey")},
+			Select:  []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount"), cr("supplier", "s_name")},
+		},
+		{ // Q16: parts/supplier relationship
+			Name:   "q16",
+			Tables: []string{"partsupp", "part", "supplier"},
+			Predicates: []sql.Predicate{
+				rng("part", "p_brand", 0.96),
+				rng("part", "p_type", 0.967),
+				rng("part", "p_size", 0.16),
+			},
+			Joins: []sql.Join{
+				join("partsupp", "ps_partkey", "part", "p_partkey"),
+				join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+			},
+			GroupBy: []sql.ColRef{cr("part", "p_brand"), cr("part", "p_type"), cr("part", "p_size")},
+		},
+		{ // Q17: small-quantity-order revenue
+			Name:   "q17",
+			Tables: []string{"lineitem", "part"},
+			Predicates: []sql.Predicate{
+				eq("part", "p_brand", 0.04),
+				eq("part", "p_container", 0.025),
+			},
+			Joins:  []sql.Join{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Select: []sql.ColRef{cr("lineitem", "l_quantity"), cr("lineitem", "l_extendedprice")},
+		},
+		{ // Q18: large volume customer
+			Name:   "q18",
+			Tables: []string{"customer", "orders", "lineitem"},
+			Predicates: []sql.Predicate{
+				rng("lineitem", "l_quantity", 0.02),
+			},
+			Joins: []sql.Join{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			GroupBy: []sql.ColRef{cr("customer", "c_custkey"), cr("orders", "o_orderkey")},
+			Select:  []sql.ColRef{cr("orders", "o_orderdate"), cr("orders", "o_totalprice")},
+		},
+		{ // Q19: discounted revenue
+			Name:   "q19",
+			Tables: []string{"lineitem", "part"},
+			Predicates: []sql.Predicate{
+				eq("part", "p_brand", 0.04),
+				eq("part", "p_container", 0.1),
+				rng("lineitem", "l_quantity", 0.2),
+				eq("lineitem", "l_shipmode", 0.29),
+				eq("lineitem", "l_shipinstruct", 0.25),
+			},
+			Joins:  []sql.Join{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Select: []sql.ColRef{cr("lineitem", "l_extendedprice"), cr("lineitem", "l_discount")},
+		},
+		{ // Q20: potential part promotion
+			Name:   "q20",
+			Tables: []string{"supplier", "nation", "partsupp", "part", "lineitem"},
+			Predicates: []sql.Predicate{
+				rng("part", "p_name", 0.054),
+				rng("lineitem", "l_shipdate", 0.152),
+				eq("nation", "n_name", 0.04),
+			},
+			Joins: []sql.Join{
+				join("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+				join("partsupp", "ps_partkey", "part", "p_partkey"),
+				join("lineitem", "l_partkey", "partsupp", "ps_partkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			Select: []sql.ColRef{cr("supplier", "s_name"), cr("partsupp", "ps_availqty"), cr("lineitem", "l_quantity")},
+		},
+		{ // Q21: suppliers who kept orders waiting
+			Name:   "q21",
+			Tables: []string{"supplier", "lineitem", "orders", "nation"},
+			Predicates: []sql.Predicate{
+				eq("orders", "o_orderstatus", 0.49),
+				eq("nation", "n_name", 0.04),
+			},
+			Joins: []sql.Join{
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []sql.ColRef{cr("supplier", "s_name")},
+			Select:  []sql.ColRef{cr("lineitem", "l_receiptdate"), cr("lineitem", "l_commitdate")},
+		},
+		{ // Q22: global sales opportunity
+			Name:   "q22",
+			Tables: []string{"customer", "orders"},
+			Predicates: []sql.Predicate{
+				eq("customer", "c_phone", 0.28),
+				rng("customer", "c_acctbal", 0.5),
+			},
+			Joins:   []sql.Join{join("customer", "c_custkey", "orders", "o_custkey")},
+			GroupBy: []sql.ColRef{cr("customer", "c_phone")},
+			Select:  []sql.ColRef{cr("customer", "c_acctbal")},
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package tpch
+
+import (
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/sql"
+)
+
+func TestSchemaCardinalities(t *testing.T) {
+	s := Schema()
+	if len(s.Tables) != 8 {
+		t.Fatalf("%d tables, want 8", len(s.Tables))
+	}
+	li := s.Table("lineitem")
+	if li == nil || li.Rows != 6_001_215 {
+		t.Fatal("lineitem cardinality wrong")
+	}
+	if s.Table("orders").Rows != 1_500_000 {
+		t.Fatal("orders cardinality wrong")
+	}
+	for _, tb := range s.Tables {
+		if tb.RowWidth() <= 0 {
+			t.Errorf("table %s has nonpositive row width", tb.Name)
+		}
+		for _, c := range tb.Columns {
+			if c.Distinct < 1 {
+				t.Errorf("%s.%s has %d distinct values", tb.Name, c.Name, c.Distinct)
+			}
+		}
+	}
+}
+
+func TestWorkloadValidates(t *testing.T) {
+	s := Schema()
+	qs := Queries()
+	if len(qs) != 22 {
+		t.Fatalf("%d queries, want 22", len(qs))
+	}
+	if err := sql.ValidateWorkload(s, qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesAreConnected(t *testing.T) {
+	// Every multi-table query must have a connected join graph (the cost
+	// model prices per-edge; a cross join would silently cost nothing).
+	for _, q := range Queries() {
+		if len(q.Tables) == 1 {
+			continue
+		}
+		parent := map[string]string{}
+		var find func(x string) string
+		find = func(x string) string {
+			if parent[x] == "" || parent[x] == x {
+				parent[x] = x
+				return x
+			}
+			r := find(parent[x])
+			parent[x] = r
+			return r
+		}
+		for _, tn := range q.Tables {
+			parent[tn] = tn
+		}
+		for _, j := range q.Joins {
+			parent[find(j.Left.Table)] = find(j.Right.Table)
+		}
+		root := find(q.Tables[0])
+		for _, tn := range q.Tables[1:] {
+			if find(tn) != root {
+				t.Errorf("query %s: table %s not joined", q.Name, tn)
+			}
+		}
+	}
+}
