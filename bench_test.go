@@ -6,6 +6,7 @@
 package idd_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"github.com/evolving-olap/idd/internal/solver/greedy"
 	"github.com/evolving-olap/idd/internal/solver/local"
 	"github.com/evolving-olap/idd/internal/solver/mip"
+	"github.com/evolving-olap/idd/internal/solver/portfolio"
 	"github.com/evolving-olap/idd/internal/tpch"
 )
 
@@ -214,6 +216,66 @@ func BenchmarkFigure13_VNSDecomposed_TPCDS(b *testing.B) {
 			Initial: init, MaxSteps: 10000, Rng: rand.New(rand.NewSource(int64(i))),
 			OnImprove: func(order []int, _ float64) { c.Evaluate(order) },
 		})
+	}
+}
+
+// --- Portfolio: concurrent racing with a shared incumbent ---
+
+func benchPortfolio(b *testing.B, workers int) {
+	in := datasets.ReducedTPCH(16, datasets.Mid)
+	c := model.MustCompile(in)
+	cs := sched.PrecedenceSet(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := portfolio.Solve(context.Background(), c, cs, portfolio.Options{
+			Backends:  []string{"greedy", "cp", "tabu-f", "lns", "vns"},
+			Workers:   workers,
+			Budget:    200 * time.Millisecond,
+			StepLimit: 20000,
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Order == nil {
+			b.Fatal("no order")
+		}
+	}
+}
+
+func BenchmarkPortfolio_Workers1(b *testing.B) { benchPortfolio(b, 1) }
+func BenchmarkPortfolio_Workers4(b *testing.B) { benchPortfolio(b, 4) }
+
+func BenchmarkPortfolio_TPCH(b *testing.B) {
+	c := model.MustCompile(datasets.TPCH())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := portfolio.Solve(context.Background(), c, nil, portfolio.Options{
+			Budget:    250 * time.Millisecond,
+			StepLimit: 15000,
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Order == nil {
+			b.Fatal("no order")
+		}
+	}
+}
+
+func BenchmarkMicro_PortfolioStore(b *testing.B) {
+	// The incumbent store's hot paths: the lock-free poll every anytime
+	// solver issues per iteration, plus an occasional improving offer.
+	s := portfolio.NewStore(31, nil)
+	order := sched.Identity(31)
+	s.Offer("seed", order, 1e9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BetterThan(0)
+		if i%1024 == 0 {
+			s.Offer("bench", order, 1e9-float64(i))
+		}
 	}
 }
 

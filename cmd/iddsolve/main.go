@@ -7,16 +7,21 @@
 //	iddsolve -method vns -budget 30s tpch.json
 //	iddsolve -method cp -budget 60s -prune tpch13.json
 //	iddsolve -method greedy tpcds.json
+//	iddsolve -method portfolio -workers 8 -budget 30s tpcds.json
 //
 // Methods: greedy, dp, cp, astar, mip, bruteforce, tabu-b, tabu-f, lns,
-// vns, random.
+// vns, anneal, random, and portfolio — which races a set of backends
+// concurrently with a shared incumbent (see -workers and -solvers).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/evolving-olap/idd/internal/codec"
@@ -31,6 +36,7 @@ import (
 	"github.com/evolving-olap/idd/internal/solver/greedy"
 	"github.com/evolving-olap/idd/internal/solver/local"
 	"github.com/evolving-olap/idd/internal/solver/mip"
+	"github.com/evolving-olap/idd/internal/solver/portfolio"
 )
 
 func main() {
@@ -40,6 +46,8 @@ func main() {
 		usePrune = flag.Bool("prune", true, "run the §5 analysis and add its constraints")
 		seed     = flag.Int64("seed", 1, "random seed for local search")
 		curve    = flag.Bool("curve", false, "print the per-step improvement curve")
+		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
+		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -64,7 +72,7 @@ func main() {
 	}
 
 	start := time.Now()
-	order, note := solve(c, cs, *method, *budget, *seed)
+	order, note := solve(c, cs, *method, *budget, *seed, *workers, *solvers)
 	elapsed := time.Since(start)
 
 	obj, deploy, final := c.Evaluate(order)
@@ -85,7 +93,7 @@ func main() {
 	}
 }
 
-func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Duration, seed int64) ([]int, string) {
+func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Duration, seed int64, workers int, solvers string) ([]int, string) {
 	rng := rand.New(rand.NewSource(seed))
 	lopt := func() local.Options {
 		return local.Options{
@@ -133,6 +141,47 @@ func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Dur
 		return local.LNS(c, cs, lopt()).Order, ""
 	case "vns":
 		return local.VNS(c, cs, lopt()).Order, ""
+	case "anneal":
+		return local.Anneal(c, cs, lopt()).Order, ""
+	case "portfolio":
+		var backends []string
+		if solvers != "" {
+			for _, name := range strings.Split(solvers, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					backends = append(backends, name)
+				}
+			}
+		}
+		res, err := portfolio.Solve(context.Background(), c, cs, portfolio.Options{
+			Backends: backends,
+			Workers:  workers,
+			Budget:   budget,
+			Seed:     seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for _, b := range res.Backends {
+			switch {
+			case b.Skipped:
+				fmt.Fprintf(os.Stderr, "  %-10s skipped (budget exhausted or optimum already proved)\n", b.Name)
+			case b.Err != nil:
+				fmt.Fprintf(os.Stderr, "  %-10s error: %v\n", b.Name, b.Err)
+			case b.Proved && math.IsInf(b.Objective, 1):
+				// A* can prove the shared incumbent optimal via its bound
+				// without ever reconstructing an order of its own.
+				fmt.Fprintf(os.Stderr, "  %-10s proved the incumbent optimal (bound only, no own order) iters=%d wall=%v\n",
+					b.Name, b.Iterations, b.Wall.Round(time.Millisecond))
+			default:
+				note := ""
+				if b.Proved {
+					note = " proved"
+				}
+				fmt.Fprintf(os.Stderr, "  %-10s obj=%.2f iters=%d wall=%v improved=%d%s\n",
+					b.Name, b.Objective, b.Iterations, b.Wall.Round(time.Millisecond), b.Improvements, note)
+			}
+		}
+		return res.Order, fmt.Sprintf(" [winner %s]", res.Winner) + provedNote(res.Proved)
 	default:
 		fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q\n", method)
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module github.com/evolving-olap/idd
+
+go 1.24

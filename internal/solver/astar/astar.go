@@ -13,6 +13,7 @@ package astar
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -29,13 +30,28 @@ const MaxN = 24
 type Options struct {
 	// NodeLimit aborts after expanding this many states (0 = unlimited).
 	NodeLimit int64
+	// Context, when non-nil, aborts the search when cancelled (checked
+	// every 256 expansions).
+	Context context.Context
+	// ExternalBound, when non-nil, is polled for the best objective known
+	// outside this search (the portfolio's shared incumbent). Because the
+	// open list is ordered by an admissible f, the whole search stops —
+	// with Proved=true and a nil Order — as soon as the head of the queue
+	// can no longer beat the external incumbent: the incumbent is then
+	// proved optimal even though A* never reconstructed it.
+	ExternalBound func() float64
+	// OnSolution, when non-nil, is invoked with the optimal order when
+	// the goal state is expanded (portfolio incumbent publishing).
+	OnSolution func(order []int, objective float64)
 }
 
 // Result reports the search outcome.
 type Result struct {
 	Order     []int
 	Objective float64
-	// Proved is true when the returned order is proved optimal.
+	// Proved is true when the search space was exhausted: either Order is
+	// the proved optimum, or Order is nil and no order beating
+	// Options.ExternalBound exists (the external incumbent is optimal).
 	Proved bool
 	// Expanded counts expanded states; States counts distinct subsets
 	// seen (memory proxy).
@@ -100,11 +116,29 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 		if opt.NodeLimit > 0 && res.Expanded > opt.NodeLimit {
 			return res, nil // aborted: Proved stays false
 		}
+		if opt.Context != nil && res.Expanded%256 == 0 {
+			select {
+			case <-opt.Context.Done():
+				res.States = int64(len(gBest))
+				return res, nil // aborted: Proved stays false
+			default:
+			}
+		}
+		if opt.ExternalBound != nil {
+			// f is admissible and the queue is ordered by f, so once the
+			// head cannot beat the external incumbent, nothing can.
+			if e := opt.ExternalBound(); cur.f > e+1e-9 {
+				break
+			}
+		}
 		if cur.mask == goal {
 			res.Order = cur.order
 			res.Objective = cur.g
 			res.Proved = true
 			res.States = int64(len(gBest))
+			if opt.OnSolution != nil {
+				opt.OnSolution(append([]int(nil), cur.order...), cur.g)
+			}
 			return res, nil
 		}
 		// Replay the prefix on the walker to expand successors.
@@ -147,6 +181,10 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 			w.Pop()
 		}
 	}
+	// Exhausted without reaching the goal: with an external bound this is
+	// a proof that the external incumbent cannot be beaten; without one it
+	// only happens on contradictory constraints (which Validate rejects).
+	res.Proved = opt.ExternalBound != nil
 	res.States = int64(len(gBest))
 	return res, nil
 }

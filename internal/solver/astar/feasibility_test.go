@@ -1,0 +1,34 @@
+package astar_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/astar"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: the A* optimum is always a precedence-feasible
+// permutation, across random instances.
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 9
+	cfg.Queries = 7
+	cfg.PrecedenceProb = 0.1
+	for seed := int64(0); seed < 15; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		res, err := astar.Solve(c, cs, astar.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Proved {
+			t.Fatalf("seed %d: unbounded A* did not prove", seed)
+		}
+		solvertest.RequireFeasible(t, c.N, cs, res.Order)
+	}
+}

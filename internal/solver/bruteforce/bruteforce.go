@@ -4,6 +4,7 @@
 package bruteforce
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,12 +22,24 @@ type Result struct {
 	Objective float64
 	// Visited is the number of complete permutations evaluated.
 	Visited int64
+	// Aborted is true when SolveContext was cancelled mid-enumeration:
+	// Order is then only the best permutation seen so far, not a proved
+	// optimum.
+	Aborted bool
 }
 
 // Solve enumerates all orders compatible with cs (nil = unconstrained)
 // and returns the best. If bound is true, a simple admissible lower bound
 // prunes hopeless prefixes; the result is still exact.
 func Solve(c *model.Compiled, cs *constraint.Set, bound bool) (Result, error) {
+	return SolveContext(context.Background(), c, cs, bound)
+}
+
+// SolveContext is Solve with cooperative cancellation, checked every few
+// thousand search nodes. A cancelled enumeration returns the best order
+// found so far with Aborted set (error only when nothing feasible was
+// reached yet).
+func SolveContext(ctx context.Context, c *model.Compiled, cs *constraint.Set, bound bool) (Result, error) {
 	if c.N > MaxN {
 		return Result{}, fmt.Errorf("bruteforce: %d indexes exceeds MaxN=%d", c.N, MaxN)
 	}
@@ -34,8 +47,21 @@ func Solve(c *model.Compiled, cs *constraint.Set, bound bool) (Result, error) {
 	res := Result{Objective: math.Inf(1)}
 	w := model.NewWalker(c)
 	built := make([]bool, c.N)
+	var nodes int64
 	var rec func()
 	rec = func() {
+		if res.Aborted {
+			return
+		}
+		nodes++
+		if nodes%4096 == 0 {
+			select {
+			case <-ctx.Done():
+				res.Aborted = true
+				return
+			default:
+			}
+		}
 		if w.Len() == c.N {
 			res.Visited++
 			if obj := w.Objective(); obj < res.Objective {
@@ -62,6 +88,9 @@ func Solve(c *model.Compiled, cs *constraint.Set, bound bool) (Result, error) {
 	}
 	rec()
 	if res.Order == nil {
+		if res.Aborted {
+			return Result{}, fmt.Errorf("bruteforce: cancelled before any feasible order was reached")
+		}
 		return Result{}, fmt.Errorf("bruteforce: no feasible order (contradictory constraints)")
 	}
 	return res, nil

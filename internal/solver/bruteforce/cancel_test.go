@@ -1,0 +1,48 @@
+package bruteforce_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/datasets"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+// TestSolveContextCancel: a cancelled enumeration stops promptly and
+// reports Aborted instead of claiming a proved optimum.
+func TestSolveContextCancel(t *testing.T) {
+	c := model.MustCompile(datasets.ReducedTPCH(11, datasets.Low))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := bruteforce.SolveContext(ctx, c, nil, false)
+	if err == nil {
+		// The first feasible permutation can be reached before the first
+		// cancellation check; then a partial result with Aborted is fine.
+		if !res.Aborted {
+			t.Fatalf("cancelled enumeration claims completion: %+v", res)
+		}
+		return
+	}
+	// No order at all: acceptable only as the explicit cancel error.
+	if res.Order != nil {
+		t.Fatalf("error %v but order %v", err, res.Order)
+	}
+}
+
+// TestSolveContextMatchesSolve: without cancellation the two entry
+// points are identical.
+func TestSolveContextMatchesSolve(t *testing.T) {
+	c := model.MustCompile(datasets.ReducedTPCH(8, datasets.Low))
+	a, err := bruteforce.Solve(c, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bruteforce.SolveContext(context.Background(), c, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Aborted || b.Aborted {
+		t.Fatalf("Solve %+v != SolveContext %+v", a, b)
+	}
+}

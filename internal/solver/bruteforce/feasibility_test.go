@@ -1,0 +1,33 @@
+package bruteforce_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: the enumerated optimum is always a
+// precedence-feasible permutation (with and without bound pruning).
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 7
+	cfg.Queries = 6
+	cfg.PrecedenceProb = 0.12
+	for seed := int64(0); seed < 15; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		for _, bound := range []bool{false, true} {
+			res, err := bruteforce.Solve(c, cs, bound)
+			if err != nil {
+				t.Fatalf("seed %d bound=%v: %v", seed, bound, err)
+			}
+			solvertest.RequireFeasible(t, c.N, cs, res.Order)
+		}
+	}
+}

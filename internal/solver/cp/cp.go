@@ -8,6 +8,7 @@
 package cp
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -26,6 +27,17 @@ type Options struct {
 	// Deadline aborts when the wall clock passes it (zero = none). The
 	// deadline is checked every few hundred nodes.
 	Deadline time.Time
+	// Context, when non-nil, aborts the search when cancelled (checked
+	// every few hundred nodes, like Deadline). The portfolio runner uses
+	// it to stop all backends once one proves optimality.
+	Context context.Context
+	// ExternalBound, when non-nil, is polled for the best objective known
+	// outside this search (the portfolio's shared incumbent); subtrees
+	// that cannot beat it are pruned in addition to the solver's own
+	// incumbent. When the search then exhausts, Proved means "no order
+	// strictly better than the tightest bound seen exists" — the external
+	// incumbent is optimal even if this search never matched it.
+	ExternalBound func() float64
 	// Incumbent, when non-nil, seeds the search with a known feasible
 	// order; only strictly better solutions are reported.
 	Incumbent []int
@@ -145,6 +157,13 @@ func (s *searcher) limitHit() bool {
 	if !s.opt.Deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.opt.Deadline) {
 		return true
 	}
+	if s.opt.Context != nil && s.nodes%256 == 0 {
+		select {
+		case <-s.opt.Context.Done():
+			return true
+		default:
+		}
+	}
 	return false
 }
 
@@ -171,9 +190,16 @@ func (s *searcher) dfs(k int) bool {
 	}
 
 	// Objective bound (branch-and-prune): even the most optimistic
-	// completion cannot beat the incumbent.
-	if !s.opt.NoBound && !math.IsInf(s.bestObj, 1) {
-		if s.boundBelow() >= s.bestObj-1e-12 {
+	// completion cannot beat the incumbent — the solver's own or, in
+	// portfolio mode, the best any backend has published so far.
+	ub := s.bestObj
+	if s.opt.ExternalBound != nil {
+		if e := s.opt.ExternalBound(); e < ub {
+			ub = e
+		}
+	}
+	if !s.opt.NoBound && !math.IsInf(ub, 1) {
+		if s.boundBelow() >= ub-1e-12 {
 			s.fails++
 			return true
 		}

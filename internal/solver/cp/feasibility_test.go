@@ -1,0 +1,40 @@
+package cp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: CP orders are precedence-feasible permutations
+// both when the search is exhausted and when it is cut off mid-run by a
+// fail limit (the LNS regime).
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 9
+	cfg.Queries = 7
+	cfg.PrecedenceProb = 0.1
+	for seed := int64(0); seed < 15; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+
+		full := cp.Solve(c, cs, cp.Options{})
+		if !full.Proved {
+			t.Fatalf("seed %d: unbounded CP did not prove", seed)
+		}
+		solvertest.RequireFeasible(t, c.N, cs, full.Order)
+
+		cut := cp.Solve(c, cs, cp.Options{
+			FailLimit: 50,
+			Incumbent: greedy.Solve(c, cs),
+		})
+		solvertest.RequireFeasible(t, c.N, cs, cut.Order)
+	}
+}

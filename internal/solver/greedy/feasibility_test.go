@@ -1,0 +1,26 @@
+package greedy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: every order greedy emits is a
+// precedence-feasible permutation, across random instances with dense
+// precedence relations.
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.PrecedenceProb = 0.08
+	for seed := int64(0); seed < 25; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		solvertest.RequireFeasible(t, c.N, cs, greedy.Solve(c, cs))
+	}
+}

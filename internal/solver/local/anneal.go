@@ -36,6 +36,10 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	cand := make([]int, n)
 
 	for !b.exhausted() {
+		var adopted bool
+		if cur, curObj, adopted = tr.adopt(&opt, cur, curObj); adopted {
+			copy(best, cur) // keep Result.Order consistent with tr.best
+		}
 		b.spend(1)
 		a, bb := opt.Rng.Intn(n), opt.Rng.Intn(n)
 		if a == bb {

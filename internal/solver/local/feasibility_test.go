@@ -1,0 +1,46 @@
+package local_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/local"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: every local search emits precedence-feasible
+// permutations across random instances — the moves themselves are
+// feasibility-checked, so this guards the search plumbing end to end.
+func TestFeasibilityProperty(t *testing.T) {
+	searches := map[string]func(*model.Compiled, *constraint.Set, local.Options) local.Result{
+		"tabu-b": local.TabuBSwap,
+		"tabu-f": local.TabuFSwap,
+		"lns":    local.LNS,
+		"vns":    local.VNS,
+		"anneal": local.Anneal,
+		"insert": local.InsertSearch,
+	}
+	cfg := randgen.DefaultConfig()
+	cfg.PrecedenceProb = 0.08
+	for name, run := range searches {
+		run := run
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+				c := model.MustCompile(in)
+				cs := sched.PrecedenceSet(in)
+				res := run(c, cs, local.Options{
+					Initial:  greedy.Solve(c, cs),
+					MaxSteps: 2000,
+					Rng:      rand.New(rand.NewSource(seed + 100)),
+				})
+				solvertest.RequireFeasible(t, c.N, cs, res.Order)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	size := max(2, int(relax*float64(c.N)+0.5))
 
 	for !b.exhausted() {
+		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
 		improved, _, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
 		b.spend(nodes)
 		if improved != nil {

@@ -7,6 +7,7 @@
 package local
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -60,6 +61,17 @@ type Options struct {
 	// OnImprove, when non-nil, is invoked for every new best solution
 	// with a copy of the order (used by the Figure 13 decomposition).
 	OnImprove func(order []int, objective float64)
+	// Context, when non-nil, aborts the search when cancelled (checked
+	// together with the budget).
+	Context context.Context
+	// Incumbent, when non-nil, is polled between iterations with the best
+	// objective this search has seen. When some other portfolio backend
+	// holds a strictly better feasible order it returns a private copy and
+	// its objective for this search to adopt; otherwise it returns nil.
+	// Adopted orders are not re-reported through OnImprove (they are not
+	// this search's own improvements), which also prevents publish/adopt
+	// echo loops between backends.
+	Incumbent func(than float64) ([]int, float64)
 }
 
 // Result is the outcome of a local search run.
@@ -70,16 +82,17 @@ type Result struct {
 	Steps     int64
 }
 
-// budgetTracker enforces Options.Budget / Options.MaxSteps.
+// budgetTracker enforces Options.Budget / Options.MaxSteps / Options.Context.
 type budgetTracker struct {
 	start    time.Time
 	deadline time.Time
 	maxSteps int64
 	steps    int64
+	ctx      context.Context
 }
 
 func newBudget(opt *Options) *budgetTracker {
-	b := &budgetTracker{start: time.Now(), maxSteps: opt.MaxSteps}
+	b := &budgetTracker{start: time.Now(), maxSteps: opt.MaxSteps, ctx: opt.Context}
 	if opt.Budget > 0 {
 		b.deadline = b.start.Add(opt.Budget)
 	}
@@ -94,6 +107,13 @@ func (b *budgetTracker) exhausted() bool {
 	}
 	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		return true
+	}
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			return true
+		default:
+		}
 	}
 	return false
 }
@@ -115,6 +135,28 @@ type tracker struct {
 	traj      Trajectory
 	best      float64
 	onImprove func(order []int, objective float64)
+}
+
+// adopt polls opt.Incumbent for an externally-published order strictly
+// better than everything this search has seen (portfolio incumbent
+// sharing) and returns the solution to continue from plus whether an
+// adoption happened. The comparison is against the tracker's best — not
+// the current position — so a search that deliberately worsened its
+// position (tabu escape moves, annealing uphill steps) is not yanked
+// back to its own published best every iteration, which would destroy
+// its diversification. The tracker's best is tightened silently: adopted
+// orders are somebody else's improvements and must not re-enter the
+// trajectory or OnImprove.
+func (t *tracker) adopt(opt *Options, cur []int, curObj float64) ([]int, float64, bool) {
+	if opt.Incumbent == nil {
+		return cur, curObj, false
+	}
+	ext, extObj := opt.Incumbent(t.best)
+	if ext == nil {
+		return cur, curObj, false
+	}
+	t.best = extObj
+	return ext, extObj, true
 }
 
 func (t *tracker) record(order []int, obj float64) {

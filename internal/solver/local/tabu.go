@@ -43,6 +43,10 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 	cand := make([]int, n)
 
 	for iter := 1; !b.exhausted(); iter++ {
+		var adopted bool
+		if cur, curObj, adopted = tr.adopt(&opt, cur, curObj); adopted {
+			copy(best, cur) // keep Result.Order consistent with tr.best
+		}
 		bestA, bestB := -1, -1
 		bestDelta := inf()
 		found := false

@@ -38,6 +38,7 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 
 	proofs, tried := 0, 0
 	for !b.exhausted() {
+		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
 		improved, proof, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
 		b.spend(nodes)
 		tried++

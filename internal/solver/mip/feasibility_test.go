@@ -1,0 +1,36 @@
+package mip_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/mip"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+// TestFeasibilityProperty: every order branch-and-bound extracts is a
+// precedence-feasible permutation (tiny instances only — the time-indexed
+// model does not scale).
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 4
+	cfg.Queries = 3
+	cfg.PlansPerQuery = 2
+	cfg.PrecedenceProb = 0.1
+	for seed := int64(0); seed < 4; seed++ {
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		res, err := mip.Solve(c, cs, mip.Options{NodeLimit: 60})
+		if err != nil {
+			// "no integral solution within the node limit" is a valid
+			// outcome for B&B on a weak relaxation; there is no order to
+			// check then.
+			continue
+		}
+		solvertest.RequireFeasible(t, c.N, cs, res.Order)
+	}
+}

@@ -10,6 +10,7 @@
 package mip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,17 @@ type Options struct {
 	NodeLimit int
 	// Deadline aborts the search (zero = none).
 	Deadline time.Time
+	// Context, when non-nil, aborts branch-and-bound when cancelled
+	// (checked per node).
+	Context context.Context
+	// Incumbent, when non-nil, is polled per node with the current exact
+	// incumbent objective; a strictly better externally-known order (the
+	// portfolio's shared incumbent) is adopted, which also tightens the
+	// discretized bound used for pruning.
+	Incumbent func(than float64) ([]int, float64)
+	// OnIncumbent, when non-nil, is invoked whenever the exact-objective
+	// incumbent improves (with a copy of the order).
+	OnIncumbent func(order []int, objective float64)
 }
 
 // Formulation is the built LP with variable metadata.
@@ -370,8 +382,9 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 
 	// accept records an order as the incumbent in both objective spaces:
 	// the exact (continuous) model for reporting, and the discretized
-	// model for LP-bound pruning.
-	accept := func(order []int) {
+	// model for LP-bound pruning. own marks the solver's own discoveries;
+	// adopted external incumbents are not re-published via OnIncumbent.
+	accept := func(order []int, own bool) {
 		if !orderFeasible(cs, order) {
 			return
 		}
@@ -381,6 +394,9 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 		if obj := c.Objective(order); obj < res.Objective {
 			res.Objective = obj
 			res.Order = order
+			if own && opt.OnIncumbent != nil {
+				opt.OnIncumbent(append([]int(nil), order...), obj)
+			}
 		}
 	}
 
@@ -388,6 +404,19 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 		if res.Nodes >= nodeLimit || (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) {
 			aborted = true
 			return nil
+		}
+		if opt.Context != nil {
+			select {
+			case <-opt.Context.Done():
+				aborted = true
+				return nil
+			default:
+			}
+		}
+		if opt.Incumbent != nil {
+			if ext, _ := opt.Incumbent(res.Objective); ext != nil {
+				accept(ext, false)
+			}
 		}
 		res.Nodes++
 		sol, err := solveWith(fixings)
@@ -410,7 +439,7 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 		// Rounding heuristic: any LP solution induces an order via the
 		// A_i values (CPLEX-style primal heuristic); it also tightens
 		// the discretized incumbent used for pruning.
-		accept(extractOrder(f, sol.X))
+		accept(extractOrder(f, sol.X), true)
 		// Branch on the most fractional ordering variable. Only the B
 		// variables are real decisions: once they are integral the order
 		// is fixed and the leaf is evaluated directly.

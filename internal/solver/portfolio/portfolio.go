@@ -1,0 +1,556 @@
+// Package portfolio races several solver backends concurrently over one
+// problem instance, sharing the best-known schedule through a lock-guarded
+// incumbent store. Algorithm portfolios are the standard way to turn a
+// collection of complementary anytime solvers into a single robust one:
+// exact backends (cp, astar, bruteforce) publish proofs and prune against
+// the best heuristic incumbent, while the anytime backends (tabu, lns,
+// vns, anneal, mip) adopt whatever the portfolio has found so far and keep
+// improving it. The orchestrator runs backends on a bounded worker pool
+// with per-backend deadline slices carved out of one overall budget,
+// cancels everything through a context as soon as some backend proves the
+// incumbent optimal, and reports per-backend telemetry alongside the
+// winning schedule.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/astar"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+	"github.com/evolving-olap/idd/internal/solver/dp"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/local"
+	"github.com/evolving-olap/idd/internal/solver/mip"
+)
+
+const eps = 1e-12
+
+// Store is the shared incumbent: the best feasible schedule any backend
+// has published so far. The objective is mirrored in an atomic word so
+// the hot consume path (solvers polling "is there anything better?")
+// never takes the mutex unless there is.
+type Store struct {
+	mu    sync.Mutex
+	bits  atomic.Uint64 // math.Float64bits of the incumbent objective
+	order []int
+	owner string
+	n     int
+	cs    *constraint.Set
+}
+
+// NewStore returns an empty store for n-index schedules validated against
+// cs (nil = no precedence constraints).
+func NewStore(n int, cs *constraint.Set) *Store {
+	s := &Store{n: n, cs: cs}
+	s.bits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// Objective returns the incumbent objective (+Inf when empty). Lock-free.
+func (s *Store) Objective() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Offer publishes a candidate schedule on behalf of owner. Infeasible
+// orders and orders that do not strictly improve the incumbent are
+// rejected. Returns true when the candidate became the incumbent.
+func (s *Store) Offer(owner string, order []int, obj float64) bool {
+	if obj >= s.Objective()-eps {
+		return false
+	}
+	if !s.feasible(order) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj >= s.Objective()-eps {
+		return false // raced with a better offer
+	}
+	s.order = append([]int(nil), order...)
+	s.owner = owner
+	s.bits.Store(math.Float64bits(obj))
+	return true
+}
+
+// Best returns a copy of the incumbent, its objective, and the backend
+// that published it (nil, +Inf, "" when empty).
+func (s *Store) Best() ([]int, float64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.order == nil {
+		return nil, math.Inf(1), ""
+	}
+	return append([]int(nil), s.order...), s.Objective(), s.owner
+}
+
+// BetterThan returns a copy of the incumbent and its objective when it is
+// strictly better than than, else (nil, 0). This is the consume callback
+// handed to the anytime backends.
+func (s *Store) BetterThan(than float64) ([]int, float64) {
+	if s.Objective() >= than-eps {
+		return nil, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.Objective()
+	if obj >= than-eps || s.order == nil {
+		return nil, 0
+	}
+	return append([]int(nil), s.order...), obj
+}
+
+func (s *Store) feasible(order []int) bool {
+	if len(order) != s.n {
+		return false
+	}
+	seen := make([]bool, s.n)
+	for _, i := range order {
+		if i < 0 || i >= s.n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return s.cs == nil || s.cs.Compatible(order)
+}
+
+// Options configures a portfolio run.
+type Options struct {
+	// Backends names the backends to race (see Names); nil = Default.
+	Backends []string
+	// Workers bounds concurrent backends (0 = GOMAXPROCS, capped at the
+	// number of backends).
+	Workers int
+	// Budget is the overall wall-clock budget shared by all backends
+	// (0 = 10s). When there are more backends than workers the remaining
+	// budget is sliced across the queued backends so late starters still
+	// get a fair share.
+	Budget time.Duration
+	// StepLimit, when positive, additionally bounds every backend's
+	// search steps (local-search steps / CP, A*, MIP nodes), making runs
+	// reproducible for tests regardless of wall-clock speed.
+	StepLimit int64
+	// Seed derives each randomized backend's private RNG.
+	Seed int64
+	// Initial seeds the incumbent store (nil = greedy.Solve).
+	Initial []int
+	// OnImprove, when non-nil, observes every change of the shared
+	// incumbent (with a copy of the order). It may be invoked from
+	// multiple backend goroutines; each call was an improvement at the
+	// moment it was committed to the store, but delivery order between
+	// goroutines is not synchronized, so a slightly stale (larger)
+	// objective can arrive after a fresher one.
+	OnImprove func(backend string, order []int, objective float64)
+}
+
+// BackendResult is per-backend telemetry.
+type BackendResult struct {
+	Name string
+	// Objective is the objective of the backend's final solution. For
+	// anytime backends this includes portfolio incumbents adopted
+	// mid-run, so identical values across backends are expected; use
+	// BestPublished/Improvements for what a backend itself contributed
+	// (+Inf when it produced nothing).
+	Objective float64
+	// BestPublished is the best objective this backend committed to the
+	// shared store (+Inf when it never improved the portfolio incumbent).
+	BestPublished float64
+	// Improvements counts the backend's accepted incumbent publications.
+	Improvements int
+	// Proved marks an exact optimality proof (cp, astar, bruteforce
+	// only; the MIP proof is w.r.t. its discretized model and does not
+	// count).
+	Proved bool
+	// Iterations counts backend-specific search effort: local-search
+	// steps, CP/MIP nodes, A* expansions, brute-force permutations.
+	Iterations int64
+	// Wall is the backend's own wall-clock time.
+	Wall time.Duration
+	// Err reports a backend that refused or failed the instance (e.g.
+	// bruteforce/astar beyond MaxN, the MIP formulation too large).
+	Err error
+	// Skipped marks a backend never started: the budget was exhausted or
+	// an earlier backend proved optimality.
+	Skipped bool
+}
+
+// Result is the portfolio outcome.
+type Result struct {
+	// Order is the incumbent schedule and Objective its objective.
+	Order     []int
+	Objective float64
+	// Winner is the backend that published the incumbent ("seed" when no
+	// backend improved on the initial order, "<name>+" when the finisher
+	// pass improved it further).
+	Winner string
+	// Proved is true when some exact backend proved the incumbent
+	// optimal.
+	Proved bool
+	// Backends holds telemetry in Options.Backends order, followed by
+	// the finisher pass when one ran.
+	Backends []BackendResult
+}
+
+// env is what a backend run receives from the orchestrator.
+type env struct {
+	c       *model.Compiled
+	cs      *constraint.Set
+	sh      *Store
+	slice   time.Duration // this backend's share of the remaining budget
+	steps   int64         // Options.StepLimit (0 = none)
+	seed    int64
+	initial []int
+	publish func(order []int, obj float64)
+}
+
+// outcome is what a backend run reports back.
+type outcome struct {
+	order  []int
+	obj    float64
+	proved bool // exact proof only
+	iters  int64
+	err    error
+}
+
+type runFunc func(ctx context.Context, e *env) outcome
+
+var localSearches = map[string]func(*model.Compiled, *constraint.Set, local.Options) local.Result{
+	"tabu-b": local.TabuBSwap,
+	"tabu-f": local.TabuFSwap,
+	"lns":    local.LNS,
+	"vns":    local.VNS,
+	"anneal": local.Anneal,
+}
+
+var registry = map[string]runFunc{
+	"greedy":     runGreedy,
+	"dp":         runDP,
+	"bruteforce": runBruteforce,
+	"astar":      runAstar,
+	"cp":         runCP,
+	"mip":        runMIP,
+	"tabu-b":     runLocal(localSearches["tabu-b"]),
+	"tabu-f":     runLocal(localSearches["tabu-f"]),
+	"lns":        runLocal(localSearches["lns"]),
+	"vns":        runLocal(localSearches["vns"]),
+	"anneal":     runLocal(localSearches["anneal"]),
+}
+
+// finisherFor picks the anytime backend that runs the exploitation tail:
+// the paper's most scalable and stable searcher among those the caller
+// enabled ("" when the set has no anytime backend).
+func finisherFor(names []string) string {
+	for _, pref := range []string{"vns", "lns", "tabu-f", "tabu-b", "anneal"} {
+		for _, n := range names {
+			if n == pref {
+				return pref
+			}
+		}
+	}
+	return ""
+}
+
+// Names lists every registered backend, in the order Default considers
+// them.
+func Names() []string {
+	return []string{"greedy", "dp", "bruteforce", "astar", "cp", "mip",
+		"tabu-b", "tabu-f", "lns", "vns", "anneal"}
+}
+
+// Default picks the backends applicable to an instance: the cheap
+// constructive solvers and every anytime search always run; the
+// enumerative exact solvers and the MIP join only when the instance is
+// small enough for them to contribute within a portfolio slice.
+func Default(c *model.Compiled) []string {
+	names := []string{"greedy", "dp"}
+	if c.N <= 10 {
+		names = append(names, "bruteforce")
+	}
+	if c.N <= astar.MaxN {
+		names = append(names, "astar")
+	}
+	names = append(names, "cp")
+	if v, r := mip.EstimateSize(c, mip.Options{}); float64(v)*float64(r) <= 2e7 {
+		names = append(names, "mip")
+	}
+	return append(names, "tabu-b", "tabu-f", "lns", "vns", "anneal")
+}
+
+// Solve races the configured backends and returns the best schedule found
+// plus per-backend telemetry. cs may be nil. The error is non-nil only
+// for an unknown backend name.
+func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	names := opt.Backends
+	if len(names) == 0 {
+		names = Default(c)
+	}
+	for _, name := range names {
+		if _, ok := registry[name]; !ok {
+			return Result{}, fmt.Errorf("portfolio: unknown backend %q", name)
+		}
+	}
+	budget := opt.Budget
+	if budget <= 0 {
+		budget = 10 * time.Second
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	sh := NewStore(c.N, cs)
+	initial := opt.Initial
+	if initial == nil {
+		initial = greedy.Solve(c, cs)
+	} else if !sh.feasible(initial) {
+		// An infeasible seed would silently poison every backend (they
+		// all start from it and prune against its objective).
+		return Result{}, fmt.Errorf("portfolio: Options.Initial is not a feasible order")
+	}
+	sh.Offer("seed", initial, c.Objective(initial))
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+	overall := start.Add(budget)
+
+	// When there are more backends than workers the exploration phase is
+	// time-sliced, which handicaps every anytime solver against a
+	// standalone full-budget run. Reserve an exploitation tail: after the
+	// sliced race, the strongest anytime backend restarts from the shared
+	// incumbent with everything that is left (see the finisher pass
+	// below). With enough workers the race itself gets the whole budget.
+	exploreDeadline := overall
+	finisher := finisherFor(names)
+	if workers < len(names) && finisher != "" {
+		// The fewer the workers, the more the race is sliced and the more
+		// budget the finisher needs to compete with a standalone
+		// full-budget run: 1 worker keeps 1/3 for exploration, many
+		// workers keep nearly all of it.
+		exploreDeadline = start.Add(budget * time.Duration(workers) / time.Duration(workers+2))
+	}
+
+	results := make([]BackendResult, len(names))
+	var queued atomic.Int64
+	queued.Store(int64(len(names)))
+	var proved atomic.Bool
+
+	jobs := make(chan int, len(names))
+	for j := range names {
+		jobs <- j
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				name := names[j]
+				left := queued.Add(-1) + 1 // backends not yet started, incl. this one
+				remaining := time.Until(exploreDeadline)
+				br := BackendResult{Name: name, Objective: math.Inf(1), BestPublished: math.Inf(1)}
+				if remaining <= 0 || parent.Err() != nil {
+					br.Skipped = true
+					results[j] = br
+					continue
+				}
+				// Deadline slicing: workers run concurrently, so the
+				// remaining wall budget funds `workers` seconds of solver
+				// time per second; divide it fairly across the queue.
+				slice := remaining
+				if left > int64(workers) {
+					slice = time.Duration(int64(remaining) * int64(workers) / left)
+				}
+				if slice < time.Millisecond {
+					slice = time.Millisecond
+				}
+				bctx, bcancel := context.WithTimeout(parent, slice)
+				e := &env{
+					c: c, cs: cs, sh: sh, slice: slice, steps: opt.StepLimit,
+					seed: opt.Seed + int64(j)*0x9E3779B9, initial: initial,
+					// The publish callback runs on this goroutine only
+					// (backends invoke their callbacks synchronously), so
+					// it can write br's contribution counters directly.
+					publish: func(order []int, obj float64) {
+						if !sh.Offer(name, order, obj) {
+							return
+						}
+						br.BestPublished = obj
+						br.Improvements++
+						if opt.OnImprove != nil {
+							opt.OnImprove(name, order, obj)
+						}
+					},
+				}
+				start := time.Now()
+				out := registry[name](bctx, e)
+				bcancel()
+				br.Wall = time.Since(start)
+				br.Objective = out.obj
+				br.Proved = out.proved
+				br.Iterations = out.iters
+				br.Err = out.err
+				if out.order != nil {
+					e.publish(out.order, out.obj)
+				}
+				results[j] = br
+				if out.proved {
+					// The incumbent is optimal; stop the other backends.
+					proved.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Finisher pass: exploitation of whatever budget the sliced race left
+	// over. The strongest anytime backend in the set reruns undisturbed
+	// until the overall deadline, starting from the *initial* order, not
+	// the incumbent: a heuristic incumbent can sit in a worse basin than
+	// the greedy seed, and adopting it would trap the finisher there. The
+	// store keeps whichever of the race and the finisher ends up best, so
+	// the portfolio result is the minimum of both.
+	if finisher != "" && !proved.Load() && parent.Err() == nil {
+		if rem := time.Until(overall); rem > budget/20 {
+			fname := finisher + "+"
+			fbr := BackendResult{Name: fname, BestPublished: math.Inf(1)}
+			publish := func(o []int, obj float64) {
+				if !sh.Offer(fname, o, obj) {
+					return
+				}
+				fbr.BestPublished = obj
+				fbr.Improvements++
+				if opt.OnImprove != nil {
+					opt.OnImprove(fname, o, obj)
+				}
+			}
+			fstart := time.Now()
+			// The RNG stream is derived from Seed alone (not a per-backend
+			// mix) so the finisher walks the same trajectory a standalone
+			// run of the same searcher with the same seed would.
+			fres := localSearches[finisher](c, cs, local.Options{
+				Initial:   initial,
+				Budget:    rem,
+				MaxSteps:  opt.StepLimit,
+				Rng:       rand.New(rand.NewSource(opt.Seed)),
+				Context:   parent,
+				OnImprove: publish,
+			})
+			publish(fres.Order, fres.Objective)
+			fbr.Objective = fres.Objective
+			fbr.Iterations = fres.Steps
+			fbr.Wall = time.Since(fstart)
+			results = append(results, fbr)
+		}
+	}
+
+	order, obj, winner := sh.Best()
+	return Result{
+		Order:     order,
+		Objective: obj,
+		Winner:    winner,
+		Proved:    proved.Load(),
+		Backends:  results,
+	}, nil
+}
+
+func runGreedy(_ context.Context, e *env) outcome {
+	order := greedy.Solve(e.c, e.cs)
+	return outcome{order: order, obj: e.c.Objective(order)}
+}
+
+func runDP(_ context.Context, e *env) outcome {
+	// The DP baseline ignores precedence constraints by construction;
+	// repair its order before offering it.
+	order := sched.Repair(dp.Solve(e.c), e.cs)
+	return outcome{order: order, obj: e.c.Objective(order)}
+}
+
+func runBruteforce(ctx context.Context, e *env) outcome {
+	res, err := bruteforce.SolveContext(ctx, e.c, e.cs, true)
+	if err != nil {
+		return outcome{obj: math.Inf(1), err: err}
+	}
+	return outcome{order: res.Order, obj: res.Objective, proved: !res.Aborted, iters: res.Visited}
+}
+
+func runAstar(ctx context.Context, e *env) outcome {
+	res, err := astar.Solve(e.c, e.cs, astar.Options{
+		NodeLimit:     e.steps,
+		Context:       ctx,
+		ExternalBound: e.sh.Objective,
+		OnSolution:    e.publish,
+	})
+	if err != nil {
+		return outcome{obj: math.Inf(1), err: err}
+	}
+	return outcome{order: res.Order, obj: res.Objective, proved: res.Proved, iters: res.Expanded}
+}
+
+func runCP(ctx context.Context, e *env) outcome {
+	// No Deadline: the orchestrator's per-backend context already carries
+	// the slice timeout, and cp polls it at the same cadence.
+	res := cp.Solve(e.c, e.cs, cp.Options{
+		NodeLimit:     e.steps,
+		Context:       ctx,
+		Incumbent:     e.initial,
+		ExternalBound: e.sh.Objective,
+		OnSolution:    e.publish,
+	})
+	return outcome{order: res.Order, obj: res.Objective, proved: res.Proved, iters: res.Nodes}
+}
+
+func runMIP(ctx context.Context, e *env) outcome {
+	mopt := mip.Options{
+		Deadline:    time.Now().Add(e.slice),
+		Context:     ctx,
+		Incumbent:   e.sh.BetterThan,
+		OnIncumbent: e.publish,
+	}
+	if e.steps > 0 {
+		mopt.NodeLimit = int(e.steps)
+	}
+	res, err := mip.Solve(e.c, e.cs, mopt)
+	if err != nil {
+		return outcome{obj: math.Inf(1), err: err, iters: int64(res.Nodes)}
+	}
+	// res.Proved is w.r.t. the discretized model only — never an exact
+	// optimality proof, so it must not stop the portfolio.
+	return outcome{order: res.Order, obj: res.Objective, iters: int64(res.Nodes)}
+}
+
+func runLocal(search func(*model.Compiled, *constraint.Set, local.Options) local.Result) runFunc {
+	return func(ctx context.Context, e *env) outcome {
+		res := search(e.c, e.cs, local.Options{
+			Initial:   e.initial,
+			Budget:    e.slice,
+			MaxSteps:  e.steps,
+			Rng:       rand.New(rand.NewSource(e.seed)),
+			Context:   ctx,
+			Incumbent: e.sh.BetterThan,
+			OnImprove: e.publish,
+		})
+		return outcome{order: res.Order, obj: res.Objective, iters: res.Steps}
+	}
+}
