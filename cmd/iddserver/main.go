@@ -1,0 +1,93 @@
+// Command iddserver runs the asynchronous index-deployment-ordering
+// solve service: an HTTP/JSON frontend over the portfolio solver with a
+// bounded worker pool, a canonical-hash solution cache with
+// single-flight deduplication, and per-job server-sent-event streams of
+// incumbent progress.
+//
+// Usage:
+//
+//	iddserver -addr :8080 -workers 8 -queue 128 -budget 2s -max-budget 60s
+//
+// Endpoints:
+//
+//	POST   /solve            solve synchronously (small instances)
+//	POST   /jobs             enqueue an async solve job (202 + job id)
+//	GET    /jobs/{id}        job status, result when finished
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /jobs/{id}/events server-sent events: incumbent progress
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          queue/cache/backend counters (JSON)
+//
+// Request bodies are either a JSON envelope
+// {"instance": {...}, "budget": "2s", "backends": ["cp","vns"], ...}
+// or a compact text matrix file with the same knobs as URL query
+// parameters (?budget=2s&backends=cp,vns&priority=5&seed=1).
+//
+// On SIGINT/SIGTERM the server stops accepting work and drains queued
+// and running jobs for up to -drain before cancelling what remains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue", 64, "queued-solve capacity before 429s")
+		cacheSize = flag.Int("cache", 256, "solution cache entries")
+		budget    = flag.Duration("budget", 2*time.Second, "default per-job solve budget")
+		maxBudget = flag.Duration("max-budget", 60*time.Second, "budget ceiling per job")
+		maxIdx    = flag.Int("max-indexes", 512, "largest accepted instance")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body byte limit")
+		retain    = flag.Int("retain", 4096, "finished jobs kept queryable before eviction")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		CacheSize:       *cacheSize,
+		DefaultBudget:   *budget,
+		MaxBudget:       *maxBudget,
+		MaxIndexes:      *maxIdx,
+		MaxBodyBytes:    *maxBody,
+		MaxFinishedJobs: *retain,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("iddserver: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("iddserver: %v — draining for up to %v", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("iddserver: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	srv.Shutdown(ctx) // reject new work, finish the queue, cancel on timeout
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("iddserver: http shutdown: %v", err)
+	}
+	log.Printf("iddserver: drained, bye")
+}

@@ -8,20 +8,39 @@
 //	iddsolve -method cp -budget 60s -prune tpch13.json
 //	iddsolve -method greedy tpcds.json
 //	iddsolve -method portfolio -workers 8 -budget 30s tpcds.json
+//	iddsolve -method portfolio -json r13.json | jq .objective
 //
 // Methods: greedy, dp, cp, astar, mip, bruteforce, tabu-b, tabu-f, lns,
 // vns, anneal, random, and portfolio — which races a set of backends
 // concurrently with a shared incumbent (see -workers and -solvers).
+//
+// -json replaces the human-readable report with a single JSON object on
+// stdout so scripts (and the iddserver examples) can consume results
+// programmatically.
+//
+// Exit codes: 0 = solved (for proof-capable methods: proved optimal, or
+// a heuristic method returned a feasible order); 2 = invalid input,
+// infeasible instance, or a method that cannot handle it; 3 = a
+// proof-capable method (bruteforce, astar, cp, mip, portfolio) exhausted
+// its budget — or was interrupted — without an optimality proof. The
+// best incumbent is still printed in that case.
+//
+// SIGINT cancels the search gracefully: the solver stops at the next
+// cancellation point and the best incumbent found so far is printed
+// (marked "interrupted"). A second SIGINT kills the process.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/evolving-olap/idd/internal/codec"
@@ -39,6 +58,22 @@ import (
 	"github.com/evolving-olap/idd/internal/solver/portfolio"
 )
 
+// Exit codes for scripting.
+const (
+	exitSolved  = 0
+	exitInvalid = 2 // bad usage, unreadable/invalid instance, method refused it
+	exitNoProof = 3 // proof-capable method ran out of budget (or ^C) without a proof
+)
+
+// solveOutcome is what solve() reports beyond the order itself.
+type solveOutcome struct {
+	note string
+	// proved is nil for methods with no proof concept (the heuristics),
+	// otherwise whether an optimality proof landed.
+	proved *bool
+	winner string
+}
+
 func main() {
 	var (
 		method   = flag.String("method", "vns", "solution method")
@@ -46,13 +81,14 @@ func main() {
 		usePrune = flag.Bool("prune", true, "run the §5 analysis and add its constraints")
 		seed     = flag.Int64("seed", 1, "random seed for local search")
 		curve    = flag.Bool("curve", false, "print the per-step improvement curve")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object instead of the text report")
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: iddsolve [flags] <instance file>")
-		os.Exit(2)
+		os.Exit(exitInvalid)
 	}
 	in, err := codec.LoadFile(flag.Arg(0))
 	if err != nil {
@@ -71,11 +107,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "analysis (%v): %v\n", time.Since(start).Round(time.Millisecond), rep)
 	}
 
+	// SIGINT/SIGTERM cancel the search context; every method below polls
+	// it and returns its best incumbent instead of dying mid-print. The
+	// registration is dropped the moment the context fires (not when the
+	// solver returns) so a second ^C gets the default kill behavior even
+	// while a backend is still between cancellation points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	start := time.Now()
-	order, note := solve(c, cs, *method, *budget, *seed, *workers, *solvers)
+	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers)
 	elapsed := time.Since(start)
+	interrupted := ctx.Err() != nil
+	stop()
 
 	obj, deploy, final := c.Evaluate(order)
+	code := exitSolved
+	if outcome.proved != nil && !*outcome.proved {
+		code = exitNoProof
+	}
+
+	if *jsonOut {
+		printJSON(in, c, *method, order, obj, deploy, final, elapsed, outcome, interrupted, *curve, code)
+		os.Exit(code)
+	}
+
+	note := outcome.note
+	if interrupted {
+		note += " (interrupted)"
+	}
 	fmt.Printf("method:      %s%s\n", *method, note)
 	fmt.Printf("elapsed:     %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("objective:   %.2f\n", obj)
@@ -91,58 +153,138 @@ func main() {
 			fmt.Printf("  %10.2f %10.2f  (+%s)\n", pt.Elapsed, pt.Runtime, in.Indexes[pt.Index].Name)
 		}
 	}
+	os.Exit(code)
 }
 
-func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Duration, seed int64, workers int, solvers string) ([]int, string) {
+// jsonReport is the -json wire format.
+type jsonReport struct {
+	Method       string    `json:"method"`
+	Instance     string    `json:"instance,omitempty"`
+	N            int       `json:"n"`
+	Objective    float64   `json:"objective"`
+	DeployTime   float64   `json:"deploy_time"`
+	BaseRuntime  float64   `json:"base_runtime"`
+	FinalRuntime float64   `json:"final_runtime"`
+	Proved       *bool     `json:"proved,omitempty"`
+	Winner       string    `json:"winner,omitempty"`
+	Interrupted  bool      `json:"interrupted,omitempty"`
+	ElapsedMS    int64     `json:"elapsed_ms"`
+	Order        []int     `json:"order"`
+	Names        []string  `json:"names"`
+	Curve        []curvePt `json:"curve,omitempty"`
+	ExitCode     int       `json:"exit_code"`
+}
+
+type curvePt struct {
+	Elapsed float64 `json:"elapsed"`
+	Runtime float64 `json:"runtime"`
+	Index   string  `json:"index"`
+	Cost    float64 `json:"cost"`
+}
+
+func printJSON(in *model.Instance, c *model.Compiled, method string, order []int,
+	obj, deploy, final float64, elapsed time.Duration, outcome solveOutcome,
+	interrupted, withCurve bool, code int) {
+	rep := jsonReport{
+		Method:       method,
+		Instance:     in.Name,
+		N:            c.N,
+		Objective:    obj,
+		DeployTime:   deploy,
+		BaseRuntime:  c.Base,
+		FinalRuntime: final,
+		Proved:       outcome.proved,
+		Winner:       outcome.winner,
+		Interrupted:  interrupted,
+		ElapsedMS:    elapsed.Milliseconds(),
+		Order:        order,
+		Names:        make([]string, len(order)),
+		ExitCode:     code,
+	}
+	for k, ix := range order {
+		rep.Names[k] = in.Indexes[ix].Name
+	}
+	if withCurve {
+		for _, pt := range c.Curve(order) {
+			rep.Curve = append(rep.Curve, curvePt{
+				Elapsed: pt.Elapsed, Runtime: pt.Runtime,
+				Index: in.Indexes[pt.Index].Name, Cost: pt.Cost,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}
+
+func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method string,
+	budget time.Duration, seed int64, workers int, solvers string) ([]int, solveOutcome) {
 	rng := rand.New(rand.NewSource(seed))
 	lopt := func() local.Options {
 		return local.Options{
 			Initial: greedy.Solve(c, cs),
 			Budget:  budget,
 			Rng:     rng,
+			Context: ctx,
 		}
+	}
+	heuristic := func(order []int) ([]int, solveOutcome) {
+		return order, solveOutcome{}
 	}
 	switch method {
 	case "greedy":
-		return greedy.Solve(c, cs), ""
+		return heuristic(greedy.Solve(c, cs))
 	case "dp":
-		return dp.Solve(c), ""
+		return heuristic(dp.Solve(c))
 	case "random":
-		return sched.RandomFeasible(rng, cs), ""
+		return heuristic(sched.RandomFeasible(rng, cs))
 	case "bruteforce":
-		res, err := bruteforce.Solve(c, cs, true)
+		res, err := bruteforce.SolveContext(ctx, c, cs, true)
 		if err != nil {
 			fail(err)
 		}
-		return res.Order, " (proved optimal)"
+		proved := !res.Aborted
+		return res.Order, solveOutcome{note: provedNote(proved), proved: &proved}
 	case "astar":
-		res, err := astar.Solve(c, cs, astar.Options{})
+		res, err := astar.Solve(c, cs, astar.Options{Context: ctx})
 		if err != nil {
 			fail(err)
 		}
-		return res.Order, provedNote(res.Proved)
+		order := res.Order
+		if order == nil {
+			// A cancelled A* may have no own order; fall back to greedy so
+			// the CLI always reports a feasible schedule.
+			order = greedy.Solve(c, cs)
+		}
+		return order, solveOutcome{note: provedNote(res.Proved), proved: &res.Proved}
 	case "cp":
 		res := cp.Solve(c, cs, cp.Options{
 			Deadline:  time.Now().Add(budget),
+			Context:   ctx,
 			Incumbent: greedy.Solve(c, cs),
 		})
-		return res.Order, provedNote(res.Proved)
+		return res.Order, solveOutcome{note: provedNote(res.Proved), proved: &res.Proved}
 	case "mip":
-		res, err := mip.Solve(c, cs, mip.Options{Deadline: time.Now().Add(budget)})
+		res, err := mip.Solve(c, cs, mip.Options{Deadline: time.Now().Add(budget), Context: ctx})
 		if err != nil {
 			fail(err)
 		}
-		return res.Order, provedNote(res.Proved) + fmt.Sprintf(" [%d vars, %d rows]", res.Vars, res.Rows)
+		return res.Order, solveOutcome{
+			note:   provedNote(res.Proved) + fmt.Sprintf(" [%d vars, %d rows]", res.Vars, res.Rows),
+			proved: &res.Proved,
+		}
 	case "tabu-b":
-		return local.TabuBSwap(c, cs, lopt()).Order, ""
+		return heuristic(local.TabuBSwap(c, cs, lopt()).Order)
 	case "tabu-f":
-		return local.TabuFSwap(c, cs, lopt()).Order, ""
+		return heuristic(local.TabuFSwap(c, cs, lopt()).Order)
 	case "lns":
-		return local.LNS(c, cs, lopt()).Order, ""
+		return heuristic(local.LNS(c, cs, lopt()).Order)
 	case "vns":
-		return local.VNS(c, cs, lopt()).Order, ""
+		return heuristic(local.VNS(c, cs, lopt()).Order)
 	case "anneal":
-		return local.Anneal(c, cs, lopt()).Order, ""
+		return heuristic(local.Anneal(c, cs, lopt()).Order)
 	case "portfolio":
 		var backends []string
 		if solvers != "" {
@@ -152,7 +294,7 @@ func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Dur
 				}
 			}
 		}
-		res, err := portfolio.Solve(context.Background(), c, cs, portfolio.Options{
+		res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
 			Backends: backends,
 			Workers:  workers,
 			Budget:   budget,
@@ -181,11 +323,15 @@ func solve(c *model.Compiled, cs *constraint.Set, method string, budget time.Dur
 					b.Name, b.Objective, b.Iterations, b.Wall.Round(time.Millisecond), b.Improvements, note)
 			}
 		}
-		return res.Order, fmt.Sprintf(" [winner %s]", res.Winner) + provedNote(res.Proved)
+		return res.Order, solveOutcome{
+			note:   fmt.Sprintf(" [winner %s]", res.Winner) + provedNote(res.Proved),
+			proved: &res.Proved,
+			winner: res.Winner,
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q\n", method)
-		os.Exit(2)
-		return nil, ""
+		os.Exit(exitInvalid)
+		return nil, solveOutcome{}
 	}
 }
 
@@ -198,5 +344,5 @@ func provedNote(p bool) string {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "iddsolve: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitInvalid)
 }

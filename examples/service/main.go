@@ -1,0 +1,161 @@
+// Example service: a client walkthrough of the iddserver HTTP API.
+//
+// The example starts the service in-process on a loopback listener (so
+// it runs standalone, without a separately launched iddserver), then
+// acts as a plain HTTP client: it submits an async solve job, follows
+// the job's server-sent-event stream while the portfolio races, prints
+// every incumbent improvement as it lands, fetches the final result,
+// and demonstrates the canonical-hash cache by resubmitting the same
+// instance with its indexes relabeled.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/service"
+)
+
+func main() {
+	// A local service, exactly what `iddserver -addr :8080` would run.
+	srv := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// A random 7-index instance whose greedy seed is suboptimal, so the
+	// event stream shows real incumbent improvements.
+	in := randInstance()
+
+	// 1. Submit an async job: POST /jobs with the JSON envelope.
+	body, _ := json.Marshal(map[string]any{
+		"instance": in,
+		"budget":   "10s",
+		"backends": []string{"cp"},
+	})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted job %s (state %s)\n", job.ID, job.State)
+
+	// 2. Stream progress: GET /jobs/{id}/events (server-sent events).
+	stream, err := http.Get(ts.URL + "/jobs/" + job.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Type      string   `json:"type"`
+			Backend   string   `json:"backend"`
+			Objective *float64 `json:"objective"`
+			State     string   `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Type {
+		case "incumbent":
+			fmt.Printf("  incumbent improved to %.2f (by %s)\n", *ev.Objective, ev.Backend)
+		case "proved":
+			fmt.Printf("  proved optimal at %.2f (by %s)\n", *ev.Objective, ev.Backend)
+		case "done":
+			fmt.Printf("  job finished: %s\n", ev.State)
+		}
+	}
+	stream.Body.Close()
+
+	// 3. Fetch the result: GET /jobs/{id}.
+	resp, err = http.Get(ts.URL + "/jobs/" + job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var status struct {
+		Result *service.SolveResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("deployment order (objective %.2f, proved=%t): %s\n",
+		status.Result.Objective, status.Result.Proved, strings.Join(status.Result.Names, " -> "))
+
+	// 4. Same problem, different labeling: the canonical hash routes it
+	// to the solution cache — no second solve happens.
+	body, _ = json.Marshal(map[string]any{
+		"instance": reversed(in), "budget": "10s", "backends": []string{"cp"},
+	})
+	resp, err = http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var again service.SolveResult
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("relabeled resubmission: cache_hit=%t, objective %.2f\n", again.CacheHit, again.Objective)
+}
+
+func randInstance() *model.Instance {
+	rng := rand.New(rand.NewSource(2))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 7
+	cfg.Queries = 6
+	return randgen.New(rng, cfg)
+}
+
+// reversed writes the same instance with index positions reversed and
+// every reference remapped.
+func reversed(in *model.Instance) *model.Instance {
+	n := len(in.Indexes)
+	ip := func(i int) int { return n - 1 - i }
+	out := &model.Instance{Name: in.Name, Indexes: make([]model.Index, n), Queries: in.Queries}
+	for i, ix := range in.Indexes {
+		out.Indexes[ip(i)] = ix
+	}
+	for _, p := range in.Plans {
+		idx := make([]int, len(p.Indexes))
+		for k, i := range p.Indexes {
+			idx[k] = ip(i)
+		}
+		out.Plans = append(out.Plans, model.Plan{Query: p.Query, Indexes: idx, Speedup: p.Speedup})
+	}
+	for _, b := range in.BuildInteractions {
+		out.BuildInteractions = append(out.BuildInteractions, model.BuildInteraction{
+			Target: ip(b.Target), Helper: ip(b.Helper), Speedup: b.Speedup,
+		})
+	}
+	for _, pr := range in.Precedences {
+		out.Precedences = append(out.Precedences, model.Precedence{Before: ip(pr.Before), After: ip(pr.After)})
+	}
+	return out
+}

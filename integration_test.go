@@ -88,6 +88,7 @@ func TestExamplesRun(t *testing.T) {
 		{"quickstart", "optimal order"},
 		{"whatif", "atomic configurations"},
 		{"schema_evolution", "deployment order"},
+		{"service", "cache_hit=true"},
 	} {
 		ex := ex
 		t.Run(ex.dir, func(t *testing.T) {

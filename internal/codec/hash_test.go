@@ -1,0 +1,159 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+// relabel returns a deep copy of the instance with index positions
+// permuted by iperm (iperm[i] = new position of index i), query positions
+// permuted by qperm, every integer reference remapped, and the record
+// slices themselves shuffled by rng — i.e. the same problem written down
+// completely differently.
+func relabel(in *model.Instance, iperm, qperm []int, rng *rand.Rand) *model.Instance {
+	out := &model.Instance{
+		Name:    in.Name,
+		Indexes: make([]model.Index, len(in.Indexes)),
+		Queries: make([]model.Query, len(in.Queries)),
+	}
+	for i, ix := range in.Indexes {
+		ix.Columns = append([]string(nil), ix.Columns...)
+		ix.Include = append([]string(nil), ix.Include...)
+		out.Indexes[iperm[i]] = ix
+	}
+	for q, qu := range in.Queries {
+		out.Queries[qperm[q]] = qu
+	}
+	for _, p := range in.Plans {
+		idx := make([]int, len(p.Indexes))
+		for k, i := range p.Indexes {
+			idx[k] = iperm[i]
+		}
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		out.Plans = append(out.Plans, model.Plan{Query: qperm[p.Query], Indexes: idx, Speedup: p.Speedup})
+	}
+	for _, b := range in.BuildInteractions {
+		out.BuildInteractions = append(out.BuildInteractions, model.BuildInteraction{
+			Target: iperm[b.Target], Helper: iperm[b.Helper], Speedup: b.Speedup,
+		})
+	}
+	for _, pr := range in.Precedences {
+		out.Precedences = append(out.Precedences, model.Precedence{
+			Before: iperm[pr.Before], After: iperm[pr.After],
+		})
+	}
+	rng.Shuffle(len(out.Plans), func(a, b int) { out.Plans[a], out.Plans[b] = out.Plans[b], out.Plans[a] })
+	rng.Shuffle(len(out.BuildInteractions), func(a, b int) {
+		out.BuildInteractions[a], out.BuildInteractions[b] = out.BuildInteractions[b], out.BuildInteractions[a]
+	})
+	rng.Shuffle(len(out.Precedences), func(a, b int) {
+		out.Precedences[a], out.Precedences[b] = out.Precedences[b], out.Precedences[a]
+	})
+	return out
+}
+
+// TestCanonicalHashRelabelInvariant is the property test: the canonical
+// hash does not change under index/query relabeling and record
+// reordering, and the returned permutations compose correctly.
+func TestCanonicalHashRelabelInvariant(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 7))
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = 4 + rng.Intn(12)
+		cfg.Queries = 3 + rng.Intn(8)
+		in := randgen.New(rng, cfg)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: generator made an invalid instance: %v", trial, err)
+		}
+		want := CanonicalHash(in)
+		canon, perm := Canonicalize(in)
+		if err := canon.Validate(); err != nil {
+			t.Fatalf("trial %d: canonical form invalid: %v", trial, err)
+		}
+
+		iperm := rng.Perm(len(in.Indexes))
+		qperm := rng.Perm(len(in.Queries))
+		shuffled := relabel(in, iperm, qperm, rng)
+		if err := shuffled.Validate(); err != nil {
+			t.Fatalf("trial %d: relabel broke validity: %v", trial, err)
+		}
+		if got := CanonicalHash(shuffled); got != want {
+			t.Fatalf("trial %d: hash changed under relabeling: %s vs %s", trial, got, want)
+		}
+
+		// Both writings canonicalize to the same instance, and the two
+		// permutations agree on where every original index landed.
+		canon2, perm2 := Canonicalize(shuffled)
+		if !reflect.DeepEqual(canon, canon2) {
+			t.Fatalf("trial %d: canonical forms differ", trial)
+		}
+		for i := range perm {
+			if perm[i] != perm2[iperm[i]] {
+				t.Fatalf("trial %d: perm mismatch for index %d: %d vs %d",
+					trial, i, perm[i], perm2[iperm[i]])
+			}
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	in := randgen.New(rng, randgen.DefaultConfig())
+	canon, _ := Canonicalize(in)
+	again, perm := Canonicalize(canon)
+	if !reflect.DeepEqual(canon, again) {
+		t.Fatal("canonicalization is not idempotent")
+	}
+	for i, c := range perm {
+		if i != c {
+			t.Fatalf("canonical instance re-permuted: perm[%d]=%d", i, c)
+		}
+	}
+	if CanonicalHash(in) != CanonicalHash(canon) {
+		t.Fatal("hash of canonical form differs from hash of original")
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randgen.New(rng, randgen.DefaultConfig())
+	base := CanonicalHash(in)
+
+	mutants := map[string]func(*model.Instance){
+		"cost":      func(m *model.Instance) { m.Indexes[0].CreateCost *= 1.5 },
+		"rename":    func(m *model.Instance) { m.Indexes[0].Name += "_x" },
+		"runtime":   func(m *model.Instance) { m.Queries[0].Runtime += 1 },
+		"speedup":   func(m *model.Instance) { m.Plans[0].Speedup *= 0.5 },
+		"drop-plan": func(m *model.Instance) { m.Plans = m.Plans[1:] },
+		"add-prec":  func(m *model.Instance) { m.Precedences = append(m.Precedences, model.Precedence{Before: 0, After: 1}) },
+	}
+	for name, mutate := range mutants {
+		cp := relabel(in, identity(len(in.Indexes)), identity(len(in.Queries)), rand.New(rand.NewSource(1)))
+		mutate(cp)
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("%s: mutant invalid: %v", name, err)
+		}
+		if CanonicalHash(cp) == base {
+			t.Errorf("%s: hash did not change", name)
+		}
+	}
+
+	// The instance-level name is metadata, not part of the problem.
+	cp := relabel(in, identity(len(in.Indexes)), identity(len(in.Queries)), rand.New(rand.NewSource(1)))
+	cp.Name = "renamed"
+	if CanonicalHash(cp) != base {
+		t.Error("instance name changed the hash")
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

@@ -9,8 +9,12 @@ import "sort"
 // consecutive-chaining constraint additionally requires that members are
 // interchangeable: no member may help any build (inside or outside the
 // group), and no member's build may be helped by another member, so any
-// internal order has the same objective. Members are chained in
-// ascending-id order.
+// internal order has the same objective. The chaining exchange moves
+// earlier members later (adjacent to the group's last member), so no
+// member may have a precedence successor outside the group — such a
+// member can sit early in every optimal order purely to unblock its
+// successor. Members are chained in an order consistent with the
+// accumulated constraints.
 func (a *analyzer) alliances(rep *Report) {
 	c := a.c
 	n := c.N
@@ -36,10 +40,21 @@ func (a *analyzer) alliances(rep *Report) {
 		if !a.allianceEligible(group) {
 			continue
 		}
-		// Chain the group in ascending order; count it once.
+		// Chain the group consistently with the existing constraints
+		// (intra-group precedences stay respected); count it once.
+		inGroup := map[int]bool{}
+		for _, i := range group {
+			inGroup[i] = true
+		}
+		order := make([]int, 0, len(group))
+		for _, v := range a.cs.Topo() {
+			if inGroup[v] {
+				order = append(order, v)
+			}
+		}
 		added := false
-		for x := 0; x+1 < len(group); x++ {
-			if a.add(group[x], group[x+1]) {
+		for x := 0; x+1 < len(order); x++ {
+			if a.add(order[x], order[x+1]) {
 				added = true
 			}
 		}
@@ -68,6 +83,20 @@ func (a *analyzer) allianceEligible(group []int) bool {
 			if inGroup[h.Helper] {
 				return false
 			}
+		}
+		// A member's precedence successors must stay within the group:
+		// chaining moves earlier members later, which would strand an
+		// outside successor that has to wait for them.
+		ok := true
+		a.cs.Successors(i).ForEach(func(s int) bool {
+			if !inGroup[s] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
 		}
 	}
 	return true

@@ -4,13 +4,20 @@ package prune
 // plan using index i also uses index j — but not vice versa — then i
 // alone never helps, and some optimal solution builds j first. The
 // theorem additionally requires that i does not speed up any other
-// index's build (otherwise delaying i could forfeit a build discount).
+// index's build (otherwise delaying i could forfeit a build discount)
+// and that i has no precedence successors: the exchange argument moves
+// i to just after j, which is infeasible when some other index must
+// wait for i — an optimal order may deploy i early purely to unblock
+// that successor.
 func (a *analyzer) colonized(rep *Report) {
 	c := a.c
 	n := c.N
 	for i := 0; i < n; i++ {
 		plans := c.PlansWithIndex[i]
 		if len(plans) == 0 || a.givesBuildHelp[i] {
+			continue
+		}
+		if a.cs.Successors(i).Count() > 0 {
 			continue
 		}
 		// Colonizers: indexes present in every plan of i.

@@ -15,7 +15,10 @@ import "github.com/evolving-olap/idd/internal/model"
 //  3. helping: i never discounts any target's build more than k does;
 //  4. side effects: i appears only in singleton plans, so delaying it
 //     cannot withhold speedups from other indexes' plans;
-//  5. stability: k's own build cost is context-independent (no helpers).
+//  5. stability: k's own build cost is context-independent (no helpers);
+//  6. mobility: i has no precedence successors and k no precedence
+//     predecessors — the exchange swaps the two, which must not strand
+//     a third index that has to follow i or precede k.
 //
 // Under these, some optimal solution builds k before i. The strict
 // benefit margin prevents tie cycles between twin indexes.
@@ -35,11 +38,17 @@ func (a *analyzer) dominated(rep *Report) {
 		if !onlySingleton {
 			continue
 		}
+		if a.cs.Successors(i).Count() > 0 { // condition 6: i can be delayed
+			continue
+		}
 		for k := 0; k < n; k++ {
 			if k == i || a.cs.Before(k, i) {
 				continue
 			}
 			if len(c.Helpers[k]) != 0 { // condition 5
+				continue
+			}
+			if a.cs.Predecessors(k).Count() > 0 { // condition 6: k can move up
 				continue
 			}
 			if a.maxBenefit[i] >= a.minBenefit[k]-eps { // condition 1

@@ -395,3 +395,34 @@ func constraintFromInstance(in *model.Instance) *constraint.Set {
 	}
 	return cs
 }
+
+// TestSoundnessRegressionPrecedenceMobility pins two inputs that once
+// broke soundness: the exchange arguments behind Colonized, Alliances
+// and Dominated move indexes relative to each other, which is invalid
+// for an index with precedence successors outside the moved set (an
+// optimal order may deploy it early purely to unblock its successor).
+// Both instances carry such precedences and previously lost the optimum
+// under the full analysis.
+func TestSoundnessRegressionPrecedenceMobility(t *testing.T) {
+	for _, seed := range []int64{8078050106167552676, -3293553112820855690} {
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = 8
+		cfg.Queries = 4
+		cfg.BuildInteractionProb = 0.12
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+
+		free, err := bruteforce.Solve(c, sched.PrecedenceSet(in), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, rep := Analyze(c, Options{})
+		constrained, err := bruteforce.Solve(c, cs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap := constrained.Objective - free.Objective; gap > 1e-6*(1+free.Objective) {
+			t.Errorf("seed %d: analysis cut off the optimum by %.4g (%v)", seed, gap, rep)
+		}
+	}
+}

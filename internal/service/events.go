@@ -1,0 +1,69 @@
+package service
+
+// Per-job event logs. Every job keeps its full ordered event history so
+// an SSE subscriber can attach at any time (or reconnect with
+// Last-Event-ID) and replay from any sequence number; live subscribers
+// block on a notification channel that is closed and replaced on every
+// append. Events end with exactly one terminal "done" event carrying the
+// job's final state.
+
+// Event types, in the order they can appear in a job's stream:
+// one "queued", at most one "started", any number of "incumbent" /
+// "backend" in solve order, at most one "proved", and a final "done".
+const (
+	EventQueued    = "queued"
+	EventStarted   = "started"
+	EventIncumbent = "incumbent"
+	EventBackend   = "backend"
+	EventProved    = "proved"
+	EventDone      = "done"
+)
+
+// Event is one entry of a job's progress stream. Seq is contiguous from
+// 0 within a job. Orders are in the requesting instance's index space.
+type Event struct {
+	Seq     int    `json:"seq"`
+	Type    string `json:"type"`
+	Backend string `json:"backend,omitempty"`
+	// Objective accompanies incumbent/backend/proved events; omitted when
+	// the backend produced nothing.
+	Objective *float64 `json:"objective,omitempty"`
+	Order     []int    `json:"order,omitempty"`
+	// State accompanies the terminal done event.
+	State      string   `json:"state,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Skipped    bool     `json:"skipped,omitempty"`
+	Iterations int64    `json:"iterations,omitempty"`
+	Wall       Duration `json:"wall,omitempty"`
+	// CacheHit marks a done event served straight from the cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// appendEvent records ev on the job and wakes subscribers. Callers must
+// hold j.mu; ev.Seq is assigned here.
+func (j *Job) appendEvent(ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// eventsSince returns a snapshot of the events from seq on, whether the
+// job is terminal, and the channel that signals the next append.
+func (j *Job) eventsSince(seq int) (evs []Event, terminal bool, notify <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq < len(j.events) {
+		evs = append(evs, j.events[seq:]...)
+	}
+	return evs, isTerminal(j.state), j.notify
+}
+
+func isTerminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+func fptr(v float64) *float64 { return &v }

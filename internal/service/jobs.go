@@ -1,0 +1,755 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/codec"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/prune"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/portfolio"
+)
+
+// Config sizes the job manager.
+type Config struct {
+	// Workers bounds concurrently executing solves (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds queued (not yet running) solves; submissions
+	// beyond it are rejected with ErrQueueFull (0 = 64).
+	QueueCap int
+	// CacheSize bounds the solution cache entry count (0 = 256).
+	CacheSize int
+	// DefaultBudget is the per-job solve budget when the request names
+	// none (0 = 2s); MaxBudget clamps requested budgets (0 = 60s).
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+	// MaxIndexes rejects instances with more indexes (0 = 512).
+	MaxIndexes int
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB); enforced by the
+	// HTTP layer.
+	MaxBodyBytes int64
+	// MaxFinishedJobs bounds how many terminal jobs (and their event
+	// histories) stay queryable; the oldest are evicted first and then
+	// answer 404 (0 = 4096). Queued/running jobs are never evicted.
+	MaxFinishedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 60 * time.Second
+	}
+	if c.MaxIndexes <= 0 {
+		c.MaxIndexes = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 4096
+	}
+	return c
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull  = errors.New("service: job queue full")
+	ErrDraining   = errors.New("service: shutting down, not accepting jobs")
+	ErrUnknownJob = errors.New("service: unknown job")
+	ErrJobDone    = errors.New("service: job already finished")
+)
+
+// InvalidError wraps client-side request problems (400s).
+type InvalidError struct{ Err error }
+
+func (e *InvalidError) Error() string { return e.Err.Error() }
+func (e *InvalidError) Unwrap() error { return e.Err }
+
+func invalidf(format string, args ...any) error {
+	return &InvalidError{Err: fmt.Errorf(format, args...)}
+}
+
+// Job is one submitted solve request. A job either attaches to a run
+// (shared with every other job wanting the identical solve) or is
+// completed immediately from the cache.
+type Job struct {
+	ID       string
+	hash     string
+	instName string
+	priority int
+
+	// origOf maps canonical index positions back to this request's
+	// positions; names mirrors the request's index names.
+	origOf []int
+
+	mu         sync.Mutex
+	state      string
+	events     []Event
+	notify     chan struct{} // closed+replaced on every event append
+	done       chan struct{} // closed on terminal transition
+	err        error
+	result     *SolveResult
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	run *run // nil for cache hits
+}
+
+// Status snapshots the job's wire form.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		State:    j.state,
+		Hash:     j.hash,
+		Instance: j.instName,
+		Priority: j.priority,
+		QueuedAt: j.queuedAt,
+		Result:   j.result,
+		Events:   len(j.events),
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// translate maps a canonical-space order into this job's index space.
+func (j *Job) translate(order []int) []int {
+	out := make([]int, len(order))
+	for k, c := range order {
+		out[k] = j.origOf[c]
+	}
+	return out
+}
+
+// start transitions the job to running and emits the started event.
+func (j *Job) start(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	j.state = StateRunning
+	j.startedAt = now
+	j.appendEvent(Event{Type: EventStarted})
+}
+
+// finish moves the job to a terminal state, records the result or error,
+// emits the done event, and releases waiters. Reports false (and changes
+// nothing) when the job is already terminal — e.g. it was canceled while
+// its run kept going — so callers count each job exactly once.
+func (j *Job) finish(state string, res *SolveResult, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if isTerminal(j.state) {
+		return false
+	}
+	j.state = state
+	j.finishedAt = time.Now()
+	j.result = res
+	j.err = err
+	ev := Event{Type: EventDone, State: state}
+	if res != nil {
+		ev.Objective = fptr(res.Objective)
+		ev.CacheHit = res.CacheHit
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.appendEvent(ev)
+	close(j.done)
+	return true
+}
+
+// run is one underlying portfolio solve, shared by all jobs whose
+// canonical hash and solve parameters coincide (single-flight).
+type run struct {
+	key      string
+	canon    *model.Instance
+	params   Params
+	budget   time.Duration
+	priority int   // queue priority: max over attached jobs (under Manager.mu)
+	seq      int64 // FIFO tie-break within a priority
+	index    int   // heap position (-1 once popped/removed)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    []*Job
+	started bool
+	// finished blocks further attaches once the outcome has been (or is
+	// being) fanned out — a late attacher would never be completed.
+	finished bool
+}
+
+// attach adds a job to the run; reports false when the run has already
+// been abandoned (all previous jobs canceled) or has finished — nothing
+// would ever complete a job attached then.
+func (r *run) attach(j *Job) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctx.Err() != nil || r.finished {
+		return false
+	}
+	j.run = r
+	r.jobs = append(r.jobs, j)
+	if r.started {
+		j.start(time.Now())
+	}
+	return true
+}
+
+// complete marks the run finished and returns the jobs to fan out to;
+// subsequent attaches are refused.
+func (r *run) complete() []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = true
+	return append([]*Job(nil), r.jobs...)
+}
+
+// detach removes a job; reports whether the run is now empty.
+func (r *run) detach(j *Job) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, other := range r.jobs {
+		if other == j {
+			r.jobs = append(r.jobs[:k], r.jobs[k+1:]...)
+			break
+		}
+	}
+	return len(r.jobs) == 0
+}
+
+// emit fans one translated event out to every attached job. Holding
+// r.mu across the fan-out gives all jobs the same event order even when
+// portfolio backends report concurrently.
+func (r *run) emit(ev Event, order []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		jev := ev
+		if order != nil {
+			jev.Order = j.translate(order)
+		}
+		j.mu.Lock()
+		j.appendEvent(jev)
+		j.mu.Unlock()
+	}
+}
+
+// runQueue is a max-heap on (priority, FIFO seq).
+type runQueue []*run
+
+func (q runQueue) Len() int { return len(q) }
+func (q runQueue) Less(a, b int) bool {
+	if q[a].priority != q[b].priority {
+		return q[a].priority > q[b].priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q runQueue) Swap(a, b int) {
+	q[a], q[b] = q[b], q[a]
+	q[a].index = a
+	q[b].index = b
+}
+func (q *runQueue) Push(x any) {
+	r := x.(*run)
+	r.index = len(*q)
+	*q = append(*q, r)
+}
+func (q *runQueue) Pop() any {
+	old := *q
+	r := old[len(old)-1]
+	old[len(old)-1] = nil
+	r.index = -1
+	*q = old[:len(old)-1]
+	return r
+}
+
+// Manager owns the worker pool, the queue, the single-flight table and
+// the solution cache.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *lruCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    runQueue
+	inflight map[string]*run
+	jobs     map[string]*Job
+	// finished is the FIFO of terminal job ids; beyond MaxFinishedJobs
+	// the oldest are dropped from the jobs map so a long-running server
+	// does not retain every request's event history forever.
+	finished []string
+	seq      int64
+	running  int
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds a manager and starts its worker pool.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		metrics:  newMetrics(),
+		inflight: make(map[string]*run),
+		jobs:     make(map[string]*Job),
+	}
+	m.cache = newLRUCache(m.cfg.CacheSize)
+	m.cond = sync.NewCond(&m.mu)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for w := 0; w < m.cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics returns the current counters.
+func (m *Manager) Metrics() MetricsSnapshot {
+	m.mu.Lock()
+	depth, running := len(m.queue), m.running
+	m.mu.Unlock()
+	return m.metrics.snapshot(m.cfg.Workers, depth, m.cfg.QueueCap, running,
+		m.cache.len(), m.cfg.CacheSize)
+}
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// newJobID returns a 16-hex-char random job id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// clampBudget applies the default and maximum to a requested budget.
+func (m *Manager) clampBudget(d Duration) time.Duration {
+	b := time.Duration(d)
+	if b <= 0 {
+		b = m.cfg.DefaultBudget
+	}
+	if b > m.cfg.MaxBudget {
+		b = m.cfg.MaxBudget
+	}
+	return b
+}
+
+// solveKey fingerprints everything that shapes the solve outcome.
+func solveKey(hash string, p Params, budget time.Duration) string {
+	return fmt.Sprintf("%s|b=%s|be=%v|w=%d|s=%d|sl=%d|p=%t",
+		hash, budget, p.Backends, p.Workers, p.Seed, p.StepLimit, p.pruneEnabled())
+}
+
+// Submit validates the instance and either completes a job from the
+// cache, attaches it to an identical in-flight run, or enqueues a new
+// run. The returned job is already registered and observable.
+func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
+	if in == nil {
+		return nil, invalidf("request carries no instance")
+	}
+	if len(in.Indexes) > m.cfg.MaxIndexes {
+		return nil, invalidf("instance has %d indexes, server accepts at most %d",
+			len(in.Indexes), m.cfg.MaxIndexes)
+	}
+	if len(in.Indexes) == 0 {
+		return nil, invalidf("instance has no indexes")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, &InvalidError{Err: err}
+	}
+	for _, name := range p.Backends {
+		if !knownBackend(name) {
+			return nil, invalidf("unknown backend %q (have %v)", name, portfolio.Names())
+		}
+	}
+
+	canon, perm := codec.Canonicalize(in)
+	hash := codec.CanonicalHash(canon)
+	origOf := make([]int, len(perm))
+	for i, c := range perm {
+		origOf[c] = i
+	}
+	budget := m.clampBudget(p.Budget)
+	key := solveKey(hash, p, budget)
+
+	j := &Job{
+		ID:       newJobID(),
+		hash:     hash,
+		instName: in.Name,
+		priority: p.Priority,
+		origOf:   origOf,
+		state:    StateQueued,
+		notify:   make(chan struct{}),
+		done:     make(chan struct{}),
+		queuedAt: time.Now(),
+	}
+	j.events = append(j.events, Event{Seq: 0, Type: EventQueued})
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.metrics.jobsSubmitted.Add(1)
+
+	if res, ok := m.cache.get(key); ok {
+		m.jobs[j.ID] = j
+		m.mu.Unlock()
+		m.metrics.cacheHits.Add(1)
+		hit := *res
+		hit.Order = j.translate(res.Order)
+		hit.CacheHit = true
+		j.start(time.Now())
+		if j.finish(StateDone, &hit, nil) {
+			m.metrics.jobsCompleted.Add(1)
+			m.noteFinished(j.ID)
+		}
+		return j, nil
+	}
+	m.metrics.cacheMisses.Add(1)
+
+	if r, ok := m.inflight[key]; ok && r.attach(j) {
+		// A higher-priority attacher promotes the whole run while it is
+		// still queued, so dedup never demotes an urgent request.
+		if p.Priority > r.priority && r.index >= 0 {
+			r.priority = p.Priority
+			heap.Fix(&m.queue, r.index)
+		}
+		m.jobs[j.ID] = j
+		m.mu.Unlock()
+		m.metrics.attached.Add(1)
+		return j, nil
+	}
+
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.mu.Unlock()
+		m.metrics.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	r := &run{
+		key: key, canon: canon, params: p, budget: budget,
+		priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
+	}
+	m.seq++
+	r.jobs = []*Job{j}
+	j.run = r
+	m.inflight[key] = r
+	heap.Push(&m.queue, r)
+	m.jobs[j.ID] = j
+	m.cond.Signal()
+	m.mu.Unlock()
+	return j, nil
+}
+
+func knownBackend(name string) bool {
+	for _, n := range portfolio.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// noteFinished records terminal jobs and evicts the oldest beyond the
+// retention cap. Only ever called with jobs already in a terminal state.
+func (m *Manager) noteFinished(ids ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = append(m.finished, ids...)
+	for len(m.finished) > m.cfg.MaxFinishedJobs {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}
+
+// Get looks a job up by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts a queued or running job. When the last job of a run is
+// canceled the underlying solve is canceled too (a queued run is removed
+// from the queue; a running one has its context canceled).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknownJob
+	}
+	j.mu.Lock()
+	terminal := isTerminal(j.state)
+	j.mu.Unlock()
+	if terminal {
+		m.mu.Unlock()
+		return ErrJobDone
+	}
+	r := j.run
+	if r != nil && r.detach(j) {
+		// Last interested job gone: abandon the solve.
+		r.cancel()
+		if r.index >= 0 {
+			heap.Remove(&m.queue, r.index)
+			delete(m.inflight, r.key)
+		}
+	}
+	m.mu.Unlock()
+
+	if j.finish(StateCanceled, nil, context.Canceled) {
+		m.metrics.jobsCanceled.Add(1)
+		m.noteFinished(id)
+	}
+	return nil
+}
+
+// Shutdown drains the manager: no new submissions are accepted, queued
+// and running solves continue until done or until ctx expires, at which
+// point the base context is canceled and running portfolios return
+// their best incumbent immediately. Blocks until all workers exit.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		m.baseCancel()
+		<-finished
+	}
+}
+
+// worker pops runs by priority and executes them until drain completes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		r := heap.Pop(&m.queue).(*run)
+		m.running++
+		m.mu.Unlock()
+
+		m.execute(r)
+
+		m.mu.Lock()
+		m.running--
+		// A failed attach may already have replaced this key with a new
+		// run; only clear our own entry.
+		if m.inflight[r.key] == r {
+			delete(m.inflight, r.key)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// execute runs one portfolio solve and fans the outcome out to every
+// attached job.
+func (m *Manager) execute(r *run) {
+	defer r.cancel()
+	r.mu.Lock()
+	r.started = true
+	jobs := append([]*Job(nil), r.jobs...)
+	r.mu.Unlock()
+	if len(jobs) == 0 {
+		return // everyone canceled while queued
+	}
+	if err := r.ctx.Err(); err != nil {
+		// Drain timeout hit while this run sat in the queue; release any
+		// still-attached waiters.
+		for _, j := range r.complete() {
+			if j.finish(StateCanceled, nil, err) {
+				m.metrics.jobsCanceled.Add(1)
+				m.noteFinished(j.ID)
+			}
+		}
+		return
+	}
+	now := time.Now()
+	for _, j := range jobs {
+		j.start(now)
+	}
+
+	c, err := model.Compile(r.canon)
+	if err != nil {
+		// Unreachable for instances that passed Submit validation.
+		m.fail(r, err)
+		return
+	}
+	cs := sched.PrecedenceSet(r.canon)
+	if r.params.pruneEnabled() {
+		cs, _ = prune.Analyze(c, prune.Options{})
+	}
+
+	// The portfolio enforces its own budget; the outer timeout only
+	// reaps a stuck backend, so give it headroom.
+	ctx, cancel := context.WithTimeout(r.ctx, r.budget+r.budget/2+2*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
+		Backends:  r.params.Backends,
+		Workers:   r.params.Workers,
+		Budget:    r.budget,
+		StepLimit: r.params.StepLimit,
+		Seed:      r.params.Seed,
+		OnProgress: func(ev portfolio.ProgressEvent) {
+			r.emit(progressToEvent(ev), ev.Order)
+		},
+	})
+	wall := time.Since(start)
+	if err != nil {
+		m.fail(r, err)
+		return
+	}
+
+	result := &SolveResult{
+		Order:     res.Order,
+		Objective: res.Objective,
+		Proved:    res.Proved,
+		Winner:    res.Winner,
+		Wall:      Duration(wall),
+		Backends:  make([]BackendSummary, 0, len(res.Backends)),
+	}
+	result.Names = make([]string, len(res.Order))
+	for k, ix := range res.Order {
+		result.Names[k] = r.canon.Indexes[ix].Name
+	}
+	_, deploy, final := c.Evaluate(res.Order)
+	result.DeployTime = deploy
+	result.BaseRuntime = c.Base
+	result.FinalRuntime = final
+	for _, b := range res.Backends {
+		bs := BackendSummary{
+			Name: b.Name, Proved: b.Proved, Improvements: b.Improvements,
+			Iterations: b.Iterations, Wall: Duration(b.Wall), Skipped: b.Skipped,
+		}
+		if !math.IsInf(b.Objective, 1) {
+			bs.Objective = fptr(b.Objective)
+		}
+		if b.Err != nil {
+			bs.Error = b.Err.Error()
+		}
+		result.Backends = append(result.Backends, bs)
+	}
+
+	// Cache the result unless the solve was cut short externally
+	// (cancellation or drain timeout) without reaching a proof — a
+	// truncated incumbent under-serves future identical requests.
+	if r.ctx.Err() == nil || res.Proved {
+		m.cache.put(r.key, result)
+	}
+	m.metrics.recordSolve(res.Winner, res.Proved, wall)
+
+	finalJobs := r.complete()
+	shared := len(finalJobs) > 1
+	for _, j := range finalJobs {
+		jr := *result
+		jr.Order = j.translate(result.Order)
+		jr.Shared = shared
+		if j.finish(StateDone, &jr, nil) {
+			m.metrics.jobsCompleted.Add(1)
+			m.noteFinished(j.ID)
+		}
+	}
+}
+
+func (m *Manager) fail(r *run, err error) {
+	for _, j := range r.complete() {
+		if j.finish(StateFailed, nil, err) {
+			m.metrics.jobsFailed.Add(1)
+			m.noteFinished(j.ID)
+		}
+	}
+}
+
+// progressToEvent maps a portfolio progress event onto the wire event
+// (order translation happens per job in run.emit).
+func progressToEvent(ev portfolio.ProgressEvent) Event {
+	out := Event{Backend: ev.Backend}
+	switch ev.Kind {
+	case portfolio.ProgressImproved:
+		out.Type = EventIncumbent
+		out.Objective = fptr(ev.Objective)
+	case portfolio.ProgressProved:
+		out.Type = EventProved
+		out.Objective = fptr(ev.Objective)
+	case portfolio.ProgressBackendDone:
+		out.Type = EventBackend
+		out.Skipped = ev.Skipped
+		out.Iterations = ev.Iterations
+		out.Wall = Duration(ev.Wall)
+		if !math.IsInf(ev.Objective, 1) {
+			out.Objective = fptr(ev.Objective)
+		}
+		if ev.Err != nil {
+			out.Error = ev.Err.Error()
+		}
+	default:
+		out.Type = ev.Kind.String()
+	}
+	return out
+}

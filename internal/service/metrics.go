@@ -1,0 +1,127 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates service-wide counters. Hot-path counters are
+// atomics; the per-backend win map takes a small mutex on solve
+// completion only.
+type Metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRejected  atomic.Int64 // queue-full 429s
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	attached    atomic.Int64 // single-flight joins
+
+	solves       atomic.Int64 // underlying portfolio runs executed
+	solvesProved atomic.Int64
+	solveWallNS  atomic.Int64
+
+	mu   sync.Mutex
+	wins map[string]int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), wins: make(map[string]int64)}
+}
+
+func (m *Metrics) recordSolve(winner string, proved bool, wall time.Duration) {
+	m.solves.Add(1)
+	if proved {
+		m.solvesProved.Add(1)
+	}
+	m.solveWallNS.Add(int64(wall))
+	if winner != "" {
+		m.mu.Lock()
+		m.wins[winner]++
+		m.mu.Unlock()
+	}
+}
+
+// MetricsSnapshot is the wire form of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_cap"`
+	Running       int     `json:"running"`
+
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		Rejected  int64 `json:"rejected_queue_full"`
+	} `json:"jobs"`
+
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Size    int     `json:"size"`
+		Cap     int     `json:"cap"`
+	} `json:"cache"`
+
+	// SingleFlightAttached counts jobs that joined an identical
+	// in-flight solve instead of spawning their own.
+	SingleFlightAttached int64 `json:"singleflight_attached"`
+
+	Solves struct {
+		Count       int64            `json:"count"`
+		Proved      int64            `json:"proved"`
+		PerSecond   float64          `json:"per_second"`
+		AvgWallMS   float64          `json:"avg_wall_ms"`
+		BackendWins map[string]int64 `json:"backend_wins"`
+	} `json:"solves"`
+}
+
+func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, cacheCap int) MetricsSnapshot {
+	var s MetricsSnapshot
+	up := time.Since(m.start)
+	s.UptimeSeconds = up.Seconds()
+	s.Workers = workers
+	s.QueueDepth = queueDepth
+	s.QueueCap = queueCap
+	s.Running = running
+
+	s.Jobs.Submitted = m.jobsSubmitted.Load()
+	s.Jobs.Completed = m.jobsCompleted.Load()
+	s.Jobs.Failed = m.jobsFailed.Load()
+	s.Jobs.Canceled = m.jobsCanceled.Load()
+	s.Jobs.Rejected = m.jobsRejected.Load()
+
+	s.Cache.Hits = m.cacheHits.Load()
+	s.Cache.Misses = m.cacheMisses.Load()
+	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	s.Cache.Size = cacheSize
+	s.Cache.Cap = cacheCap
+
+	s.SingleFlightAttached = m.attached.Load()
+
+	s.Solves.Count = m.solves.Load()
+	s.Solves.Proved = m.solvesProved.Load()
+	if up > 0 {
+		s.Solves.PerSecond = float64(s.Solves.Count) / up.Seconds()
+	}
+	if s.Solves.Count > 0 {
+		s.Solves.AvgWallMS = float64(m.solveWallNS.Load()) / float64(s.Solves.Count) / 1e6
+	}
+	s.Solves.BackendWins = make(map[string]int64)
+	m.mu.Lock()
+	for k, v := range m.wins {
+		s.Solves.BackendWins[k] = v
+	}
+	m.mu.Unlock()
+	return s
+}

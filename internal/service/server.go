@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/codec"
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// Server wires the job manager into HTTP handlers.
+type Server struct {
+	cfg Config
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// New builds a server and starts its manager's worker pool.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), m: NewManager(cfg)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the underlying job manager (used by tests and by
+// embedders that submit jobs in-process).
+func (s *Server) Manager() *Manager { return s.m }
+
+// Shutdown drains the manager (see Manager.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) {
+	s.m.Shutdown(ctx)
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps manager errors onto HTTP status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	var inv *InvalidError
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &inv):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: inv.Error()})
+	case errors.As(err, &tooBig):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrJobDone):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// parseRequest reads an instance plus solve parameters from the request.
+// Three body shapes are accepted: the JSON envelope
+// {"instance": ..., "budget": ...}, a bare JSON instance, and the
+// compact text matrix format. For the latter two the solve knobs come
+// from the URL query (budget, backends, workers, seed, step_limit,
+// priority, prune).
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*model.Instance, Params, error) {
+	var p Params
+	limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer limited.Close()
+	body, err := io.ReadAll(limited)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, p, err
+		}
+		return nil, p, invalidf("read request: %v", err)
+	}
+
+	// Decide by Content-Type when it names JSON, else by sniffing: both
+	// JSON shapes start with '{', the text matrix format never does.
+	// (Sniffing matters because curl --data-binary defaults to
+	// application/x-www-form-urlencoded.)
+	isJSON := strings.Contains(r.Header.Get("Content-Type"), "json")
+	if !isJSON {
+		trimmed := strings.TrimLeftFunc(string(body), func(c rune) bool {
+			return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+		})
+		isJSON = strings.HasPrefix(trimmed, "{")
+	}
+
+	if isJSON {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req solveRequest
+		if envErr := dec.Decode(&req); envErr == nil && req.Instance != nil {
+			return req.Instance, req.Params, nil
+		}
+		// Not an envelope — try a bare instance with query-string knobs.
+		bare, bareErr := codec.ReadJSON(bytes.NewReader(body))
+		if bareErr != nil {
+			return nil, p, invalidf("parse request (neither {\"instance\": ...} envelope nor instance JSON): %v", bareErr)
+		}
+		if p, err = queryParams(r); err != nil {
+			return nil, p, err
+		}
+		return bare, p, nil
+	}
+
+	in, err := codec.ReadText(bytes.NewReader(body))
+	if err != nil {
+		return nil, p, &InvalidError{Err: err}
+	}
+	if p, err = queryParams(r); err != nil {
+		return nil, p, err
+	}
+	return in, p, nil
+}
+
+// queryParams parses solve parameters from the URL query.
+func queryParams(r *http.Request) (Params, error) {
+	var p Params
+	q := r.URL.Query()
+	if v := q.Get("budget"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return p, invalidf("bad budget %q: %v", v, err)
+		}
+		p.Budget = Duration(d)
+	}
+	if v := q.Get("backends"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				p.Backends = append(p.Backends, name)
+			}
+		}
+	}
+	for _, f := range []struct {
+		key string
+		dst *int64
+	}{{"seed", &p.Seed}, {"step_limit", &p.StepLimit}} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return p, invalidf("bad %s %q", f.key, v)
+			}
+			*f.dst = n
+		}
+	}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{{"workers", &p.Workers}, {"priority", &p.Priority}} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return p, invalidf("bad %s %q", f.key, v)
+			}
+			*f.dst = n
+		}
+	}
+	if v := q.Get("prune"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, invalidf("bad prune %q", v)
+		}
+		p.Prune = &b
+	}
+	return p, nil
+}
+
+// handleSolve is the synchronous endpoint: submit, wait, respond with
+// the result. Client disconnection cancels the job like DELETE would.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	in, p, err := s.parseRequest(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.m.Submit(in, p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		_ = s.m.Cancel(j.ID)
+		<-j.Done()
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, st.Result)
+	case StateCanceled:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "solve canceled: " + st.Error})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error})
+	}
+}
+
+// handleSubmit is the asynchronous endpoint: 202 with the job status
+// (200 when the cache already had the answer).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	in, p, err := s.parseRequest(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.m.Submit(in, p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st := j.Status()
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	code := http.StatusAccepted
+	if isTerminal(st.State) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Hold the job before cancelling: retention eviction may drop it from
+	// the map the instant it turns terminal.
+	j, ok := s.m.Get(id)
+	if !ok {
+		writeErr(w, ErrUnknownJob)
+		return
+	}
+	if err := s.m.Cancel(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleJobEvents streams the job's progress as server-sent events:
+// replayed from the beginning (or from Last-Event-ID / ?from=<seq>),
+// then live until the terminal done event closes the stream.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownJob)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "response writer cannot stream"})
+		return
+	}
+	cursor := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			cursor = n + 1
+		}
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			cursor = n
+		}
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		evs, terminal, notify := j.eventsSince(cursor)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		}
+		if len(evs) > 0 {
+			cursor = evs[len(evs)-1].Seq + 1
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.m.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Metrics())
+}

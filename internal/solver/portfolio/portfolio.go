@@ -151,6 +151,56 @@ type Options struct {
 	// goroutines is not synchronized, so a slightly stale (larger)
 	// objective can arrive after a fresher one.
 	OnImprove func(backend string, order []int, objective float64)
+	// OnProgress, when non-nil, observes the full anytime progress of the
+	// run: every incumbent improvement, every backend completion, and the
+	// optimality proof if one lands. It is invoked from backend worker
+	// goroutines and must be safe for concurrent use; event order between
+	// goroutines is not synchronized (see OnImprove). The solve service
+	// turns this stream into server-sent events.
+	OnProgress func(ProgressEvent)
+}
+
+// ProgressKind discriminates OnProgress events.
+type ProgressKind uint8
+
+const (
+	// ProgressImproved: a backend replaced the shared incumbent. Order
+	// (a private copy) and Objective carry the new incumbent.
+	ProgressImproved ProgressKind = iota
+	// ProgressBackendDone: one backend finished, failed, or was skipped.
+	// Objective/Err/Skipped/Iterations/Wall mirror its BackendResult.
+	ProgressBackendDone
+	// ProgressProved: an exact backend proved the shared incumbent
+	// optimal. Order and Objective carry the proved incumbent.
+	ProgressProved
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case ProgressImproved:
+		return "improved"
+	case ProgressBackendDone:
+		return "backend-done"
+	case ProgressProved:
+		return "proved"
+	default:
+		return "unknown"
+	}
+}
+
+// ProgressEvent is one step of a portfolio run's anytime progress.
+type ProgressEvent struct {
+	Kind    ProgressKind
+	Backend string
+	// Order is a private copy of the incumbent for Improved/Proved events
+	// (nil for BackendDone).
+	Order     []int
+	Objective float64
+	// BackendDone details.
+	Err        error
+	Skipped    bool
+	Iterations int64
+	Wall       time.Duration
 }
 
 // BackendResult is per-backend telemetry.
@@ -313,6 +363,23 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 	if workers > len(names) {
 		workers = len(names)
 	}
+	emit := func(ev ProgressEvent) {
+		if opt.OnProgress != nil {
+			opt.OnProgress(ev)
+		}
+	}
+	improved := func(backend string, order []int, obj float64) {
+		if opt.OnImprove != nil {
+			opt.OnImprove(backend, order, obj)
+		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(ProgressEvent{
+				Kind: ProgressImproved, Backend: backend,
+				Order: append([]int(nil), order...), Objective: obj,
+			})
+		}
+	}
+
 	sh := NewStore(c.N, cs)
 	initial := opt.Initial
 	if initial == nil {
@@ -372,6 +439,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				if remaining <= 0 || parent.Err() != nil {
 					br.Skipped = true
 					results[j] = br
+					emit(ProgressEvent{Kind: ProgressBackendDone, Backend: name,
+						Objective: br.Objective, Skipped: true})
 					continue
 				}
 				// Deadline slicing: workers run concurrently, so the
@@ -397,9 +466,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 						}
 						br.BestPublished = obj
 						br.Improvements++
-						if opt.OnImprove != nil {
-							opt.OnImprove(name, order, obj)
-						}
+						improved(name, order, obj)
 					},
 				}
 				start := time.Now()
@@ -414,10 +481,17 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 					e.publish(out.order, out.obj)
 				}
 				results[j] = br
-				if out.proved {
+				emit(ProgressEvent{Kind: ProgressBackendDone, Backend: name,
+					Objective: br.Objective, Err: br.Err,
+					Iterations: br.Iterations, Wall: br.Wall})
+				if out.proved && proved.CompareAndSwap(false, true) {
 					// The incumbent is optimal; stop the other backends.
-					proved.Store(true)
+					// The CAS elects a single prover so concurrent exact
+					// backends cannot double-emit the proof event.
 					cancel()
+					border, bobj, _ := sh.Best()
+					emit(ProgressEvent{Kind: ProgressProved, Backend: name,
+						Order: border, Objective: bobj})
 				}
 			}
 		}()
@@ -441,9 +515,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				}
 				fbr.BestPublished = obj
 				fbr.Improvements++
-				if opt.OnImprove != nil {
-					opt.OnImprove(fname, o, obj)
-				}
+				improved(fname, o, obj)
 			}
 			fstart := time.Now()
 			// The RNG stream is derived from Seed alone (not a per-backend
@@ -462,6 +534,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 			fbr.Iterations = fres.Steps
 			fbr.Wall = time.Since(fstart)
 			results = append(results, fbr)
+			emit(ProgressEvent{Kind: ProgressBackendDone, Backend: fname,
+				Objective: fbr.Objective, Iterations: fbr.Iterations, Wall: fbr.Wall})
 		}
 	}
 

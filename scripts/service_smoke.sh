@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke test for iddserver: start the service, POST a reduced TPC-H
+# instance, and assert a proved-optimal response plus healthy metrics.
+# Used by CI and runnable locally: ./scripts/service_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/iddgen" ./cmd/iddgen
+go build -o "$workdir/iddserver" ./cmd/iddserver
+
+"$workdir/iddgen" -dataset tpch -reduce 12 -density low -o "$workdir/r12.json"
+
+addr=127.0.0.1:18423
+"$workdir/iddserver" -addr "$addr" -workers 2 -budget 5s -max-budget 30s \
+  > "$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for /healthz.
+for _ in $(seq 1 50); do
+  if curl -sf "http://$addr/healthz" > /dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "http://$addr/healthz" | grep -q '"status": "ok"'
+
+# Sync solve of the reduced TPC-H instance must come back proved optimal.
+printf '{"instance": %s, "budget": "20s"}' "$(cat "$workdir/r12.json")" \
+  > "$workdir/request.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr/solve" > "$workdir/result.json"
+grep -q '"proved": true' "$workdir/result.json"
+grep -q '"order"' "$workdir/result.json"
+
+# Bare instance JSON with curl's default content type also works.
+curl -sf -X POST --data-binary @"$workdir/r12.json" \
+  "http://$addr/solve?budget=20s" | grep -q '"proved": true'
+
+# The identical request again: must be served from the cache.
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr/solve" > "$workdir/cached.json"
+grep -q '"cache_hit": true' "$workdir/cached.json"
+
+# Metrics: one underlying solve, both resubmissions served from cache.
+curl -sf "http://$addr/metrics" > "$workdir/metrics.json"
+grep -q '"hits": 2' "$workdir/metrics.json"
+grep -q '"count": 1' "$workdir/metrics.json"
+
+# Async path: submit a job, follow it to completion, check its SSE log.
+job_id=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr/jobs" |
+  sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
+test -n "$job_id"
+curl -sf --max-time 30 "http://$addr/jobs/$job_id/events" > "$workdir/events.txt"
+grep -q '^event: done' "$workdir/events.txt"
+
+# Graceful shutdown on SIGTERM.
+kill -TERM "$server_pid"
+wait "$server_pid"
+
+echo "service smoke: OK"
