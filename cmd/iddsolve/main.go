@@ -39,6 +39,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -84,12 +86,15 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON object instead of the text report")
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: iddsolve [flags] <instance file>")
-		os.Exit(exitInvalid)
+		exit(exitInvalid)
 	}
+	startProfiles(*cpuProf, *memProf)
 	in, err := codec.LoadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
@@ -131,7 +136,7 @@ func main() {
 
 	if *jsonOut {
 		printJSON(in, c, *method, order, obj, deploy, final, elapsed, outcome, interrupted, *curve, code)
-		os.Exit(code)
+		exit(code)
 	}
 
 	note := outcome.note
@@ -153,7 +158,7 @@ func main() {
 			fmt.Printf("  %10.2f %10.2f  (+%s)\n", pt.Elapsed, pt.Runtime, in.Indexes[pt.Index].Name)
 		}
 	}
-	os.Exit(code)
+	exit(code)
 }
 
 // jsonReport is the -json wire format.
@@ -330,7 +335,7 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q\n", method)
-		os.Exit(exitInvalid)
+		exit(exitInvalid)
 		return nil, solveOutcome{}
 	}
 }
@@ -342,7 +347,56 @@ func provedNote(p bool) string {
 	return " (best found, no proof)"
 }
 
+// stopProfiles flushes any active pprof capture; set by startProfiles and
+// run by exit so profiles survive every exit path (os.Exit skips defers).
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot at
+// exit, making perf work on real instances reproducible:
+//
+//	iddsolve -method vns -budget 30s -cpuprofile cpu.out tpcds.json
+//	go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		cpuFile = f
+	}
+	stopProfiles = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iddsolve: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the snapshot shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "iddsolve: memprofile: %v\n", err)
+			}
+			f.Close()
+			memPath = ""
+		}
+	}
+}
+
+// exit flushes profiles, then terminates with the given code.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "iddsolve: %v\n", err)
-	os.Exit(exitInvalid)
+	exit(exitInvalid)
 }

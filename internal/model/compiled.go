@@ -1,8 +1,8 @@
 package model
 
 import (
-	"fmt"
 	"sort"
+	"sync"
 )
 
 // Helper is one build interaction seen from the target's side.
@@ -13,6 +13,13 @@ type Helper struct {
 
 // Compiled is a preprocessed instance optimized for repeated objective
 // evaluation. All solvers operate on Compiled.
+//
+// Every ragged relation (plan indexes, plans per query, plans per index,
+// helpers, precedence adjacency) is stored CSR-style: one flat backing
+// array per relation with the exported [][]-typed fields holding
+// zero-copy row views into it. Consumers keep the familiar
+// c.PlanIdx[p] / c.PlansWithIndex[i] indexing while iteration over many
+// rows walks one contiguous allocation.
 type Compiled struct {
 	Inst *Instance
 
@@ -20,6 +27,10 @@ type Compiled struct {
 	Base float64 // R_0: weighted total runtime before deployment
 
 	CreateCost []float64 // per index
+
+	// QryRuntime is the precomputed weighted base runtime of each query
+	// (Queries[q].Runtime * weight): the per-query share of Base.
+	QryRuntime []float64
 
 	// Plans, decomposed into parallel slices for cache friendliness.
 	PlanQuery []int     // plan -> query
@@ -35,6 +46,25 @@ type Compiled struct {
 	// Precedence adjacency (deduplicated).
 	Succ [][]int // before -> afters
 	Pred [][]int // after -> befores
+
+	// planRefs[i] packs, for every plan containing index i, the plan id
+	// with its query and weighted speedup into one contiguous record, so
+	// the Walker's Push loop reads sequential memory instead of chasing
+	// three parallel arrays. planIDs[i] is the same incidence as bare
+	// int32 ids for the Pop loop, which only rewinds missing-counts.
+	planRefs [][]planRef
+	planIDs  [][]int32
+
+	// walkers recycles Walker state across Objective/Evaluate/Curve calls
+	// so full replays are allocation-free in steady state.
+	walkers sync.Pool
+}
+
+// planRef is the Push-hot view of one (index, plan) incidence.
+type planRef struct {
+	plan  int32
+	query int32
+	spd   float64
 }
 
 // Compile validates and preprocesses an instance.
@@ -44,38 +74,43 @@ func Compile(in *Instance) (*Compiled, error) {
 	}
 	n := in.N()
 	c := &Compiled{
-		Inst:           in,
-		N:              n,
-		Base:           in.BaseRuntime(),
-		CreateCost:     make([]float64, n),
-		PlanQuery:      make([]int, len(in.Plans)),
-		PlanIdx:        make([][]int, len(in.Plans)),
-		PlanSpd:        make([]float64, len(in.Plans)),
-		PlansOfQuery:   make([][]int, len(in.Queries)),
-		PlansWithIndex: make([][]int, n),
-		Helpers:        make([][]Helper, n),
-		HelpsFor:       make([][]int, n),
-		Succ:           make([][]int, n),
-		Pred:           make([][]int, n),
+		Inst:       in,
+		N:          n,
+		Base:       in.BaseRuntime(),
+		CreateCost: make([]float64, n),
+		QryRuntime: make([]float64, len(in.Queries)),
+		PlanQuery:  make([]int, len(in.Plans)),
+		PlanIdx:    make([][]int, len(in.Plans)),
+		PlanSpd:    make([]float64, len(in.Plans)),
 	}
+	c.walkers.New = func() interface{} { return NewWalker(c) }
 	for i := range in.Indexes {
 		c.CreateCost[i] = in.Indexes[i].CreateCost
 	}
+	for q := range in.Queries {
+		c.QryRuntime[q] = in.Queries[q].Runtime * in.QueryWeight(q)
+	}
+	plansOfQuery := make([][]int, len(in.Queries))
+	plansWithIndex := make([][]int, n)
 	for pi, p := range in.Plans {
 		c.PlanQuery[pi] = p.Query
 		idx := append([]int(nil), p.Indexes...)
 		sort.Ints(idx)
 		c.PlanIdx[pi] = idx
 		c.PlanSpd[pi] = p.Speedup * in.QueryWeight(p.Query)
-		c.PlansOfQuery[p.Query] = append(c.PlansOfQuery[p.Query], pi)
+		plansOfQuery[p.Query] = append(plansOfQuery[p.Query], pi)
 		for _, ix := range idx {
-			c.PlansWithIndex[ix] = append(c.PlansWithIndex[ix], pi)
+			plansWithIndex[ix] = append(plansWithIndex[ix], pi)
 		}
 	}
+	helpers := make([][]Helper, n)
+	helpsFor := make([][]int, n)
 	for _, b := range in.BuildInteractions {
-		c.Helpers[b.Target] = append(c.Helpers[b.Target], Helper{Helper: b.Helper, Speedup: b.Speedup})
-		c.HelpsFor[b.Helper] = append(c.HelpsFor[b.Helper], b.Target)
+		helpers[b.Target] = append(helpers[b.Target], Helper{Helper: b.Helper, Speedup: b.Speedup})
+		helpsFor[b.Helper] = append(helpsFor[b.Helper], b.Target)
 	}
+	succ := make([][]int, n)
+	pred := make([][]int, n)
 	seen := make(map[[2]int]bool, len(in.Precedences))
 	for _, pr := range in.Precedences {
 		k := [2]int{pr.Before, pr.After}
@@ -83,10 +118,53 @@ func Compile(in *Instance) (*Compiled, error) {
 			continue
 		}
 		seen[k] = true
-		c.Succ[pr.Before] = append(c.Succ[pr.Before], pr.After)
-		c.Pred[pr.After] = append(c.Pred[pr.After], pr.Before)
+		succ[pr.Before] = append(succ[pr.Before], pr.After)
+		pred[pr.After] = append(pred[pr.After], pr.Before)
+	}
+	// Compact every ragged relation into CSR-backed views.
+	c.PlanIdx = compact(c.PlanIdx)
+	c.PlansOfQuery = compact(plansOfQuery)
+	c.PlansWithIndex = compact(plansWithIndex)
+	c.HelpsFor = compact(helpsFor)
+	c.Succ = compact(succ)
+	c.Pred = compact(pred)
+	c.Helpers = compact(helpers)
+	total := 0
+	for _, ps := range c.PlansWithIndex {
+		total += len(ps)
+	}
+	refs := make([]planRef, 0, total)
+	ids := make([]int32, 0, total)
+	c.planRefs = make([][]planRef, n)
+	c.planIDs = make([][]int32, n)
+	for i, ps := range c.PlansWithIndex {
+		start := len(refs)
+		for _, p := range ps {
+			refs = append(refs, planRef{plan: int32(p), query: int32(c.PlanQuery[p]), spd: c.PlanSpd[p]})
+			ids = append(ids, int32(p))
+		}
+		c.planRefs[i] = refs[start:len(refs):len(refs)]
+		c.planIDs[i] = ids[start:len(ids):len(ids)]
 	}
 	return c, nil
+}
+
+// compact re-lays a ragged [][]T over a single flat backing array. Row
+// views are capacity-clamped so an accidental append cannot clobber the
+// next row.
+func compact[T any](rows [][]T) [][]T {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	flat := make([]T, 0, total)
+	out := make([][]T, len(rows))
+	for i, r := range rows {
+		start := len(flat)
+		flat = append(flat, r...)
+		out[i] = flat[start:len(flat):len(flat)]
+	}
+	return out
 }
 
 // MustCompile is Compile that panics on error; for tests and fixtures.
@@ -111,6 +189,18 @@ func (c *Compiled) BuildCost(i int, built []bool) float64 {
 	return cost - best
 }
 
+// getWalker returns a pooled walker at the empty schedule. Callers must
+// hand it back via putWalker once (and only if) the walk succeeded; a
+// walker abandoned mid-panic is simply dropped.
+func (c *Compiled) getWalker() *Walker {
+	return c.walkers.Get().(*Walker)
+}
+
+func (c *Compiled) putWalker(w *Walker) {
+	w.Reset()
+	c.walkers.Put(w)
+}
+
 // Objective evaluates sum_k R_{k-1}*C_k for a complete order.
 // It does not check precedence feasibility; use Instance.ValidOrder first
 // if the order comes from an untrusted source.
@@ -122,11 +212,13 @@ func (c *Compiled) Objective(order []int) float64 {
 // Evaluate returns the objective, the total deployment time sum_k C_k,
 // and the final runtime R_n for a complete order.
 func (c *Compiled) Evaluate(order []int) (obj, deploy, finalRuntime float64) {
-	w := NewWalker(c)
+	w := c.getWalker()
 	for _, ix := range order {
 		w.Push(ix)
 	}
-	return w.Objective(), w.DeployTime(), w.Runtime()
+	obj, deploy, finalRuntime = w.Objective(), w.DeployTime(), w.Runtime()
+	c.putWalker(w)
+	return obj, deploy, finalRuntime
 }
 
 // CurvePoint is one step of the improvement curve: after Elapsed cost
@@ -141,186 +233,17 @@ type CurvePoint struct {
 // Curve returns the per-step improvement curve for an order. The implicit
 // starting point is (0, Base).
 func (c *Compiled) Curve(order []int) []CurvePoint {
-	w := NewWalker(c)
+	w := c.getWalker()
 	pts := make([]CurvePoint, 0, len(order))
 	for _, ix := range order {
-		before := w.DeployTime()
 		w.Push(ix)
 		pts = append(pts, CurvePoint{
 			Elapsed: w.DeployTime(),
 			Runtime: w.Runtime(),
 			Index:   ix,
-			Cost:    w.DeployTime() - before,
+			Cost:    w.steps[len(w.steps)-1].cost,
 		})
 	}
+	c.putWalker(w)
 	return pts
-}
-
-// Walker evaluates a schedule incrementally: Push deploys one index,
-// Pop undoes the most recent Push. It is the shared evaluation core for
-// exhaustive search, A*, CP, greedy and local search.
-type Walker struct {
-	c *Compiled
-
-	built   []bool
-	missing []int     // plan -> #indexes still missing
-	best    []float64 // query -> current best available speedup
-
-	runtime float64 // R_k
-	deploy  float64 // sum of C_1..C_k
-	obj     float64 // sum of R_{j-1} C_j for j<=k
-
-	steps []walkStep
-}
-
-type walkStep struct {
-	index int
-	cost  float64
-	// Exact pre-push accumulator values, restored verbatim on Pop so that
-	// an incremental Push/Pop walk is bit-identical to a fresh replay.
-	prevRun    float64
-	prevObj    float64
-	prevDeploy float64
-	// queries whose best speedup changed, with previous values
-	changedQ    []int
-	changedPrev []float64
-}
-
-// NewWalker returns a Walker at the empty schedule.
-func NewWalker(c *Compiled) *Walker {
-	return &Walker{
-		c:       c,
-		built:   make([]bool, c.N),
-		missing: initMissing(c),
-		best:    make([]float64, len(c.Inst.Queries)),
-		runtime: c.Base,
-	}
-}
-
-func initMissing(c *Compiled) []int {
-	m := make([]int, len(c.PlanIdx))
-	for p := range c.PlanIdx {
-		m[p] = len(c.PlanIdx[p])
-	}
-	return m
-}
-
-// Reset returns the walker to the empty schedule without reallocating.
-func (w *Walker) Reset() {
-	for len(w.steps) > 0 {
-		w.Pop()
-	}
-}
-
-// Len returns the number of deployed indexes.
-func (w *Walker) Len() int { return len(w.steps) }
-
-// Runtime returns R_k, the current weighted workload runtime.
-func (w *Walker) Runtime() float64 { return w.runtime }
-
-// DeployTime returns the cumulative deployment cost so far.
-func (w *Walker) DeployTime() float64 { return w.deploy }
-
-// Objective returns the objective accumulated so far (exact when all
-// indexes are deployed; a lower-bound prefix term otherwise).
-func (w *Walker) Objective() float64 { return w.obj }
-
-// Built reports whether index i is deployed.
-func (w *Walker) Built(i int) bool { return w.built[i] }
-
-// BuildCost returns what deploying i now would cost, without deploying it.
-func (w *Walker) BuildCost(i int) float64 {
-	return w.c.BuildCost(i, w.built)
-}
-
-// SpeedupIfBuilt returns how much the workload runtime would drop if index
-// i were deployed now (S(i, built)), without deploying it. A plan becomes
-// available iff i is its only missing index; per query only the best newly
-// available plan beyond the current best counts.
-func (w *Walker) SpeedupIfBuilt(i int) float64 {
-	delta := map[int]float64{}
-	for _, p := range w.c.PlansWithIndex[i] {
-		if w.missing[p] != 1 {
-			continue
-		}
-		q := w.c.PlanQuery[p]
-		if d := w.c.PlanSpd[p] - w.best[q]; d > delta[q] {
-			delta[q] = d
-		}
-	}
-	var gain float64
-	for _, d := range delta {
-		gain += d
-	}
-	return gain
-}
-
-// Push deploys index i as the next step of the schedule.
-func (w *Walker) Push(i int) {
-	if w.built[i] {
-		panic(fmt.Sprintf("model: Push of already built index %d", i))
-	}
-	cost := w.c.BuildCost(i, w.built)
-	st := walkStep{index: i, cost: cost, prevRun: w.runtime, prevObj: w.obj, prevDeploy: w.deploy}
-
-	w.obj += w.runtime * cost
-	w.deploy += cost
-	w.built[i] = true
-
-	for _, p := range w.c.PlansWithIndex[i] {
-		w.missing[p]--
-		if w.missing[p] == 0 {
-			q := w.c.PlanQuery[p]
-			if w.c.PlanSpd[p] > w.best[q] {
-				st.changedQ = append(st.changedQ, q)
-				st.changedPrev = append(st.changedPrev, w.best[q])
-				w.runtime -= w.c.PlanSpd[p] - w.best[q]
-				w.best[q] = w.c.PlanSpd[p]
-			}
-		}
-	}
-	w.steps = append(w.steps, st)
-}
-
-// Pop undoes the most recent Push.
-func (w *Walker) Pop() {
-	if len(w.steps) == 0 {
-		panic("model: Pop on empty walker")
-	}
-	st := w.steps[len(w.steps)-1]
-	w.steps = w.steps[:len(w.steps)-1]
-
-	i := st.index
-	for _, p := range w.c.PlansWithIndex[i] {
-		w.missing[p]++
-	}
-	// Restore query bests in reverse order of change.
-	for k := len(st.changedQ) - 1; k >= 0; k-- {
-		w.best[st.changedQ[k]] = st.changedPrev[k]
-	}
-	w.built[i] = false
-	w.runtime = st.prevRun
-	w.deploy = st.prevDeploy
-	w.obj = st.prevObj
-}
-
-// QueryBest returns the best available (weighted) speedup for query q in
-// the current state.
-func (w *Walker) QueryBest(q int) float64 { return w.best[q] }
-
-// QueryRuntime returns the current weighted runtime of query q.
-func (w *Walker) QueryRuntime(q int) float64 {
-	return w.c.Inst.Queries[q].Runtime*w.c.Inst.QueryWeight(q) - w.best[q]
-}
-
-// PlanMissing returns how many of plan p's indexes are not yet deployed.
-func (w *Walker) PlanMissing(p int) int { return w.missing[p] }
-
-// Order returns a copy of the currently deployed sequence.
-func (w *Walker) Order() []int {
-	out := make([]int, len(w.steps))
-	for k := range w.steps {
-		out[k] = w.steps[k].index
-	}
-	return out
 }

@@ -1,0 +1,113 @@
+package model_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+)
+
+// driveMoveEval runs one randomized delta-vs-replay session: random
+// instance (with build interactions and precedences), random feasible
+// start order, then a long sequence of random swap/insert moves that are
+// scored through MoveEval and independently through a fresh full
+// Objective replay. Every comparison demands bitwise equality — the
+// delta evaluator replays the same floating-point operation chain a
+// fresh replay would run, so there is no tolerance to hide drift in.
+func driveMoveEval(t *testing.T, seed int64, moves int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 4 + rng.Intn(12)
+	cfg.Queries = 2 + rng.Intn(10)
+	cfg.PrecedenceProb = []float64{0, 0.05, 0.25}[rng.Intn(3)]
+	in := randgen.New(rng, cfg)
+	c := model.MustCompile(in)
+	cs := sched.PrecedenceSet(in)
+	n := c.N
+
+	shadow := sched.RandomFeasible(rng, cs)
+	e := model.NewMoveEval(c, shadow)
+	if got, want := e.Objective(), c.Objective(shadow); got != want {
+		t.Fatalf("seed %d: initial objective %v != replay %v", seed, got, want)
+	}
+
+	cand := make([]int, n)
+	for step := 0; step < moves; step++ {
+		copy(cand, shadow)
+		var score float64
+		a, b := rng.Intn(n), rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			// Swaps are scored regardless of feasibility — local search
+			// gates moves before scoring, but the score itself must match
+			// a replay of the mutated order either way.
+			score = e.Swap(a, b)
+			sched.ApplySwap(cand, a, b)
+		} else {
+			score = e.Insert(a, b)
+			sched.ApplyInsert(cand, a, b)
+		}
+		if want := c.Objective(cand); score != want {
+			t.Fatalf("seed %d step %d: move (%d,%d) score %v != replay %v (diff %g)",
+				seed, step, a, b, score, want, score-want)
+		}
+		switch rng.Intn(4) {
+		case 0: // reject
+			e.Reject()
+		case 1: // adopt a completely different order (incumbent adoption)
+			ext := sched.RandomFeasible(rng, cs)
+			e.SetOrder(ext)
+			copy(shadow, ext)
+		default: // apply
+			e.Apply()
+			copy(shadow, cand)
+		}
+		if got, want := e.Objective(), c.Objective(shadow); got != want {
+			t.Fatalf("seed %d step %d: post-commit objective %v != replay %v", seed, step, got, want)
+		}
+		for k, ix := range e.Current() {
+			if shadow[k] != ix {
+				t.Fatalf("seed %d step %d: order diverged at %d: %v vs %v", seed, step, k, e.Current(), shadow)
+			}
+		}
+	}
+	// Post-session state check: the cached per-step costs must be exactly
+	// the costs a fresh curve replay reports.
+	for k, pt := range c.Curve(shadow) {
+		if e.StepCost(k) != pt.Cost {
+			t.Fatalf("seed %d: cached cost[%d]=%v != replay %v", seed, k, e.StepCost(k), pt.Cost)
+		}
+	}
+}
+
+func TestMoveEvalBitIdenticalToReplay(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		driveMoveEval(t, seed, 200)
+	}
+}
+
+// FuzzMoveEvalEquivalence drives the same property from fuzzer-chosen
+// seeds (run with go test -fuzz=FuzzMoveEvalEquivalence ./internal/model).
+func FuzzMoveEvalEquivalence(f *testing.F) {
+	for _, s := range []int64{1, 7, 42, 1<<40 + 3} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		driveMoveEval(t, seed, 60)
+	})
+}
+
+func BenchmarkMoveEvalSwapSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randgen.New(rng, randgen.DefaultConfig())
+	c := model.MustCompile(in)
+	e := model.NewMoveEval(c, sched.Identity(c.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Swap(i%c.N, (i*5+2)%c.N)
+		e.Reject()
+	}
+}

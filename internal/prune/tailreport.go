@@ -59,40 +59,10 @@ func TailPatterns(c *model.Compiled, cs *constraint.Set, length, maxPatterns int
 
 	var groups []TailGroup
 	w := model.NewWalker(c)
-	forSets(cands, length, func(set []int) {
-		inSet := make(map[int]bool, length)
-		for _, m := range set {
-			inSet[m] = true
-		}
-		for _, m := range set {
-			ok := true
-			cs.Successors(m).ForEach(func(s int) bool {
-				if !inSet[s] {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if !ok {
-				return
-			}
-		}
-		w.Reset()
-		for i := 0; i < n; i++ {
-			if !inSet[i] {
-				w.Push(i)
-			}
-		}
-		objBase := w.Objective()
+	inSet := make([]bool, n)
+	forFeasibleTailSets(cs, w, cands, length, inSet, func(set []int, objBase float64) {
 		g := TailGroup{Set: append([]int(nil), set...)}
-		permute(set, func(perm []int) {
-			for x := 0; x < len(perm); x++ {
-				for y := x + 1; y < len(perm); y++ {
-					if cs.Before(perm[y], perm[x]) {
-						return
-					}
-				}
-			}
+		permuteFeasible(set, cs, func(perm []int) {
 			for _, m := range perm {
 				w.Push(m)
 			}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
 )
 
@@ -55,46 +56,11 @@ func (a *analyzer) tails(rep *Report, opt Options) {
 	// For every candidate tail set, collect its champion permutations.
 	var champs []champion
 	w := model.NewWalker(c)
-	forSets(cands, length, func(set []int) {
-		// Feasibility of the set as a whole: every cs-successor of a
-		// member must itself be a member.
-		inSet := make(map[int]bool, length)
-		for _, m := range set {
-			inSet[m] = true
-		}
-		for _, m := range set {
-			ok := true
-			a.cs.Successors(m).ForEach(func(s int) bool {
-				if !inSet[s] {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if !ok {
-				return
-			}
-		}
-		// Push the preceding set (order irrelevant for the tail state).
-		w.Reset()
-		for i := 0; i < n; i++ {
-			if !inSet[i] {
-				w.Push(i)
-			}
-		}
-		objBase := w.Objective()
-
+	inSet := make([]bool, n)
+	forFeasibleTailSets(a.cs, w, cands, length, inSet, func(set []int, objBase float64) {
 		bestObj := math.Inf(1)
 		var bestPerms [][]int
-		permute(set, func(perm []int) {
-			// Relative order must respect constraints among members.
-			for x := 0; x < len(perm); x++ {
-				for y := x + 1; y < len(perm); y++ {
-					if a.cs.Before(perm[y], perm[x]) {
-						return
-					}
-				}
-			}
+		permuteFeasible(set, a.cs, func(perm []int) {
 			for _, m := range perm {
 				w.Push(m)
 			}
@@ -121,8 +87,10 @@ func (a *analyzer) tails(rep *Report, opt Options) {
 	}
 
 	// Suffix agreement: walk from the last tail position inward while all
-	// champions agree on the index at that position.
+	// champions agree on the index at that position. inSuffix reuses the
+	// dense scratch (the per-set clears above left it all-false).
 	agreed := []int{}
+	inSuffix := inSet
 	for pos := length - 1; pos >= 0; pos-- {
 		x := champs[0].perm[pos]
 		for _, ch := range champs[1:] {
@@ -132,10 +100,7 @@ func (a *analyzer) tails(rep *Report, opt Options) {
 		}
 		// x occupies absolute position n-length+pos in some optimal
 		// solution: everything not in the agreed suffix precedes it.
-		inSuffix := map[int]bool{x: true}
-		for _, s := range agreed {
-			inSuffix[s] = true
-		}
+		inSuffix[x] = true
 		for y := 0; y < n; y++ {
 			if !inSuffix[y] {
 				a.add(y, x)
@@ -177,6 +142,65 @@ func factorial(k int) int {
 		r *= i
 	}
 	return r
+}
+
+// forFeasibleTailSets enumerates every length-k subset of cands that can
+// form a schedule tail under cs (every cs-successor of a member must
+// itself be a member), positions w at the complement prefix (order
+// irrelevant for the tail state), and calls fn with the set and the
+// prefix objective. inSet is a caller-provided dense membership scratch
+// shared across the whole enumeration — it reflects the current set
+// while fn runs and is cleared in O(k) per set, so the per-set cost is
+// walker pushes, not allocations.
+func forFeasibleTailSets(cs *constraint.Set, w *model.Walker, cands []int, k int,
+	inSet []bool, fn func(set []int, objBase float64)) {
+
+	n := len(inSet)
+	forSets(cands, k, func(set []int) {
+		for _, m := range set {
+			inSet[m] = true
+		}
+		defer func() {
+			for _, m := range set {
+				inSet[m] = false
+			}
+		}()
+		for _, m := range set {
+			ok := true
+			cs.Successors(m).ForEach(func(s int) bool {
+				if !inSet[s] {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return
+			}
+		}
+		w.Reset()
+		for i := 0; i < n; i++ {
+			if !inSet[i] {
+				w.Push(i)
+			}
+		}
+		fn(set, w.Objective())
+	})
+}
+
+// permuteFeasible calls fn with every permutation of set whose relative
+// order is compatible with cs (fn must not retain the slice).
+func permuteFeasible(set []int, cs *constraint.Set, fn func(perm []int)) {
+	permute(set, func(perm []int) {
+		for x := 0; x < len(perm); x++ {
+			for y := x + 1; y < len(perm); y++ {
+				if cs.Before(perm[y], perm[x]) {
+					return
+				}
+			}
+		}
+		fn(perm)
+	})
 }
 
 // forSets enumerates all k-subsets of cands (ascending order).

@@ -6,6 +6,7 @@ package sched
 import (
 	"math/rand"
 
+	"github.com/evolving-olap/idd/internal/bitset"
 	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
 )
@@ -158,6 +159,76 @@ func InsertFeasible(order []int, from, to int, cs *constraint.Set) bool {
 		}
 	}
 	return true
+}
+
+// Swaps enumerates the cs-feasible swap neighborhood of order in
+// lexicographic (a,b) position order, calling f for each feasible pair;
+// f returning false stops the scan. Feasibility is checked incrementally:
+// for a fixed a the scan stops as soon as a successor of order[a] is
+// reached (no later b can be feasible), and the items strictly between
+// the two positions are tracked in a bitset so each predecessor check is
+// O(n/64) instead of O(window). The full scan is therefore
+// O(n²·n/64) worst case versus the naive O(n³).
+func Swaps(order []int, cs *constraint.Set, f func(a, b int) bool) {
+	n := len(order)
+	if cs == nil || cs.Len() == 0 {
+		for a := 0; a < n-1; a++ {
+			for b := a + 1; b < n; b++ {
+				if !f(a, b) {
+					return
+				}
+			}
+		}
+		return
+	}
+	between := bitset.New(cs.N())
+	for a := 0; a < n-1; a++ {
+		ia := order[a]
+		between.Clear()
+		for b := a + 1; b < n; b++ {
+			ib := order[b]
+			if cs.Before(ia, ib) {
+				// ia precedes ib: infeasible now and for every larger b
+				// (ib would stay between the swapped positions).
+				break
+			}
+			// ib jumps to position a: nothing in (a,b) may precede it.
+			if !between.Intersects(cs.Predecessors(ib)) {
+				if !f(a, b) {
+					return
+				}
+			}
+			between.Add(ib)
+		}
+	}
+}
+
+// Inserts enumerates the cs-feasible insert neighborhood of order: for
+// every from, all feasible targets to != from, nearest first (descending
+// below from, then ascending above). Each direction stops at the first
+// precedence violation, which blocks all farther targets too, so the scan
+// does no redundant window work.
+func Inserts(order []int, cs *constraint.Set, f func(from, to int) bool) {
+	n := len(order)
+	for from := 0; from < n; from++ {
+		it := order[from]
+		for to := from - 1; to >= 0; to-- {
+			if cs != nil && cs.Before(order[to], it) {
+				break // order[to] must stay before it; same for smaller to
+			}
+			if !f(from, to) {
+				return
+			}
+		}
+		for to := from + 1; to < n; to++ {
+			if cs != nil && cs.Before(it, order[to]) {
+				break // it must stay before order[to]; same for larger to
+			}
+			if !f(from, to) {
+				return
+			}
+		}
+	}
 }
 
 // ApplySwap exchanges two positions in place.

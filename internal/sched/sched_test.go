@@ -216,3 +216,90 @@ func TestRandomFeasibleOnGeneratedInstances(t *testing.T) {
 		}
 	}
 }
+
+// TestSwapsMatchesSwapFeasible: the incremental bitset iterator must
+// enumerate exactly the pairs the direct O(window) check accepts, in
+// lexicographic order.
+func TestSwapsMatchesSwapFeasible(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%14
+		rng := rand.New(rand.NewSource(seed))
+		cs := constraint.NewSet(n)
+		for k := 0; k < 2*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				cs.Add(a, b) // ignore cycles; Add rejects them
+			}
+		}
+		order := RandomFeasible(rng, cs)
+		var want [][2]int
+		for a := 0; a < n-1; a++ {
+			for b := a + 1; b < n; b++ {
+				if SwapFeasible(order, a, b, cs) {
+					want = append(want, [2]int{a, b})
+				}
+			}
+		}
+		var got [][2]int
+		Swaps(order, cs, func(a, b int) bool {
+			got = append(got, [2]int{a, b})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("seed %d n=%d: got %v want %v", seed, n, got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertsMatchesInsertFeasible: same agreement property for the
+// insertion neighborhood (set equality; Inserts yields nearest-first).
+func TestInsertsMatchesInsertFeasible(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%14
+		rng := rand.New(rand.NewSource(seed))
+		cs := constraint.NewSet(n)
+		for k := 0; k < 2*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				cs.Add(a, b)
+			}
+		}
+		order := RandomFeasible(rng, cs)
+		want := map[[2]int]bool{}
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from != to && InsertFeasible(order, from, to, cs) {
+					want[[2]int{from, to}] = true
+				}
+			}
+		}
+		got := map[[2]int]bool{}
+		Inserts(order, cs, func(from, to int) bool {
+			got[[2]int{from, to}] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("seed %d n=%d: got %d want %d", seed, n, len(got), len(want))
+			return false
+		}
+		for k := range got {
+			if !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -141,11 +141,11 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) (Result, error) {
 			}
 			return res, nil
 		}
-		// Replay the prefix on the walker to expand successors.
-		w.Reset()
-		for _, i := range cur.order {
-			w.Push(i)
-		}
+		// Reposition the walker onto this node's prefix: only the tail
+		// diverging from the previous expansion is popped/pushed, so
+		// neighboring expansions cost the prefix difference instead of a
+		// full replay.
+		w.Sync(cur.order)
 		for i := 0; i < c.N; i++ {
 			bit := uint64(1) << uint(i)
 			if cur.mask&bit != 0 || cur.mask&predMask[i] != predMask[i] {

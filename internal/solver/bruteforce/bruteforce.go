@@ -46,7 +46,6 @@ func SolveContext(ctx context.Context, c *model.Compiled, cs *constraint.Set, bo
 	lb := NewLowerBound(c)
 	res := Result{Objective: math.Inf(1)}
 	w := model.NewWalker(c)
-	built := make([]bool, c.N)
 	var nodes int64
 	var rec func()
 	rec = func() {
@@ -71,19 +70,20 @@ func SolveContext(ctx context.Context, c *model.Compiled, cs *constraint.Set, bo
 			return
 		}
 		if bound && !math.IsInf(res.Objective, 1) {
-			if lb.Complete(w, built) >= res.Objective {
+			if lb.Complete(w) >= res.Objective {
 				return
 			}
 		}
+		// The walker's bitset built-state doubles as the enumeration
+		// state: membership and precedence-readiness are bitset tests, no
+		// shadow built[] array.
 		for i := 0; i < c.N; i++ {
-			if built[i] || !predsBuilt(i, built, cs) {
+			if w.Built(i) || !predsBuilt(i, w, cs) {
 				continue
 			}
-			built[i] = true
 			w.Push(i)
 			rec()
 			w.Pop()
-			built[i] = false
 		}
 	}
 	rec()
@@ -96,19 +96,13 @@ func SolveContext(ctx context.Context, c *model.Compiled, cs *constraint.Set, bo
 	return res, nil
 }
 
-func predsBuilt(i int, built []bool, cs *constraint.Set) bool {
+// predsBuilt reports whether all precedence predecessors of i are
+// deployed: one O(n/64) bitset subset test against the walker state.
+func predsBuilt(i int, w *model.Walker, cs *constraint.Set) bool {
 	if cs == nil {
 		return true
 	}
-	ok := true
-	cs.Predecessors(i).ForEach(func(p int) bool {
-		if !built[p] {
-			ok = false
-			return false
-		}
-		return true
-	})
-	return ok
+	return w.BuiltSet().ContainsAll(cs.Predecessors(i))
 }
 
 // LowerBound computes an admissible completion bound shared by the exact
@@ -156,11 +150,11 @@ func (lb *LowerBound) MinRuntime() float64 { return lb.minRuntime }
 func (lb *LowerBound) MinCost(i int) float64 { return lb.minCost[i] }
 
 // Complete returns a lower bound on the objective of any completion of
-// the walker's current prefix. built must mirror the walker's state.
-func (lb *LowerBound) Complete(w *model.Walker, built []bool) float64 {
+// the walker's current prefix.
+func (lb *LowerBound) Complete(w *model.Walker) float64 {
 	var rest float64
 	for i := 0; i < lb.c.N; i++ {
-		if !built[i] {
+		if !w.Built(i) {
 			rest += lb.minCost[i]
 		}
 	}

@@ -118,7 +118,7 @@ func TestLowerBoundIsAdmissible(t *testing.T) {
 			w.Push(i)
 			built[i] = true
 		}
-		bound := lb.Complete(w, built)
+		bound := lb.Complete(w)
 		// True best completion by enumeration over the rest.
 		best := math.Inf(1)
 		var rec func()

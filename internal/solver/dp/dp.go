@@ -93,10 +93,12 @@ func InteractionWeights(c *model.Compiled) [][]float64 {
 	for i := range w {
 		w[i] = make([]float64, n)
 	}
+	// share[p] = speedup / |indexes|, indexed densely by plan id off the
+	// flattened plan storage (plans of one query are disjoint across
+	// queries, so one array serves every iteration).
+	share := make([]float64, len(c.PlanIdx))
 	for q := range c.PlansOfQuery {
 		plans := c.PlansOfQuery[q]
-		// share[p] = speedup / |indexes| for each plan of this query.
-		share := make(map[int]float64, len(plans))
 		for _, p := range plans {
 			share[p] = c.PlanSpd[p] / float64(len(c.PlanIdx[p]))
 		}

@@ -12,20 +12,19 @@ import (
 )
 
 // Solve returns the greedy deployment order. cs may be nil when the
-// instance has no precedence constraints.
+// instance has no precedence constraints. Successor scoring runs
+// entirely on the walker's reusable state (dense SpeedupIfBuilt scratch,
+// bitset readiness tests), so the loop is allocation-free after the
+// initial walker setup.
 func Solve(c *model.Compiled, cs *constraint.Set) []int {
 	n := c.N
 	w := model.NewWalker(c)
 	order := make([]int, 0, n)
-	remaining := make([]bool, n)
-	for i := range remaining {
-		remaining[i] = true
-	}
 
 	for len(order) < n {
 		best, bestDensity, bestCost := -1, -1.0, 0.0
 		for i := 0; i < n; i++ {
-			if !remaining[i] || !ready(i, remaining, cs) {
+			if w.Built(i) || !ready(i, w, cs) {
 				continue
 			}
 			benefit := benefitOf(c, w, i)
@@ -40,25 +39,17 @@ func Solve(c *model.Compiled, cs *constraint.Set) []int {
 		}
 		w.Push(best)
 		order = append(order, best)
-		remaining[best] = false
 	}
 	return order
 }
 
-// ready reports whether all precedence predecessors of i are deployed.
-func ready(i int, remaining []bool, cs *constraint.Set) bool {
+// ready reports whether all precedence predecessors of i are deployed,
+// as one bitset subset test against the walker's built set.
+func ready(i int, w *model.Walker, cs *constraint.Set) bool {
 	if cs == nil {
 		return true
 	}
-	ok := true
-	cs.Predecessors(i).ForEach(func(p int) bool {
-		if remaining[p] {
-			ok = false
-			return false
-		}
-		return true
-	})
-	return ok
+	return w.BuiltSet().ContainsAll(cs.Predecessors(i))
 }
 
 // benefitOf evaluates Algorithm 1's benefit for deploying i now:
@@ -78,7 +69,7 @@ func benefitOf(c *model.Compiled, w *model.Walker, i int) float64 {
 		}
 		q := c.PlanQuery[p]
 		// interaction = current runtime of q - runtime if p were used.
-		planRuntime := c.Inst.Queries[q].Runtime*c.Inst.QueryWeight(q) - c.PlanSpd[p]
+		planRuntime := c.QryRuntime[q] - c.PlanSpd[p]
 		interaction := w.QueryRuntime(q) - planRuntime
 		if interaction > 0 {
 			// Share among the indexes still missing plus i itself (the

@@ -13,7 +13,8 @@ import (
 // an additional baseline. Moves mix position swaps and single-index
 // re-insertions; worsening moves are accepted with probability
 // exp(-delta/T) under a geometric cooling schedule calibrated to the
-// instance's objective scale.
+// instance's objective scale. Candidates are scored through the delta
+// evaluator, so no per-move order copy or full replay happens.
 func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	if opt.Rng == nil {
 		panic("local: Anneal requires Options.Rng")
@@ -23,8 +24,9 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	}
 	n := c.N
 	b := newBudget(&opt)
-	cur := append([]int(nil), opt.Initial...)
-	curObj := c.Objective(cur)
+	e := model.NewMoveEval(c, opt.Initial)
+	cur := e.Current() // live view; mutated only through e.Apply
+	curObj := e.Objective()
 	tr := &tracker{b: b, onImprove: opt.OnImprove}
 	tr.record(cur, curObj)
 	best := append([]int(nil), cur...)
@@ -33,11 +35,11 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	// of the objective) with probability ~0.8.
 	temp := 0.005 * curObj / 0.22
 	const cooling = 0.999
-	cand := make([]int, n)
 
 	for !b.exhausted() {
-		var adopted bool
-		if cur, curObj, adopted = tr.adopt(&opt, cur, curObj); adopted {
+		if ext, _, adopted := tr.adopt(&opt, cur, curObj); adopted {
+			e.SetOrder(ext)
+			curObj = e.Objective()
 			copy(best, cur) // keep Result.Order consistent with tr.best
 		}
 		b.spend(1)
@@ -45,27 +47,28 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		if a == bb {
 			continue
 		}
-		copy(cand, cur)
+		var obj float64
 		if opt.Rng.Intn(2) == 0 {
 			if !sched.SwapFeasible(cur, a, bb, cs) {
 				continue
 			}
-			sched.ApplySwap(cand, a, bb)
+			obj = e.Swap(a, bb)
 		} else {
 			if !sched.InsertFeasible(cur, a, bb, cs) {
 				continue
 			}
-			sched.ApplyInsert(cand, a, bb)
+			obj = e.Insert(a, bb)
 		}
-		obj := c.Objective(cand)
 		delta := obj - curObj
 		if delta <= 0 || opt.Rng.Float64() < math.Exp(-delta/temp) {
-			copy(cur, cand)
+			e.Apply()
 			curObj = obj
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
 				copy(best, cur)
 			}
+		} else {
+			e.Reject()
 		}
 		temp *= cooling
 		if temp < 1e-9*curObj {
@@ -86,42 +89,34 @@ func InsertSearch(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	if cs == nil {
 		cs = constraint.NewSet(c.N)
 	}
-	n := c.N
 	b := newBudget(&opt)
-	cur := append([]int(nil), opt.Initial...)
-	curObj := c.Objective(cur)
+	e := model.NewMoveEval(c, opt.Initial)
+	cur := e.Current()
+	curObj := e.Objective()
 	tr := &tracker{b: b, onImprove: opt.OnImprove}
 	tr.record(cur, curObj)
-	cand := make([]int, n)
 
 	improved := true
 	for improved && !b.exhausted() {
 		improved = false
 		bestObj := curObj
 		bestFrom, bestTo := -1, -1
-		for from := 0; from < n; from++ {
-			for to := 0; to < n; to++ {
-				if from == to || !sched.InsertFeasible(cur, from, to, cs) {
-					continue
-				}
-				copy(cand, cur)
-				sched.ApplyInsert(cand, from, to)
-				obj := c.Objective(cand)
-				b.spend(1)
-				if obj < bestObj-1e-12 {
-					bestObj, bestFrom, bestTo = obj, from, to
-				}
-				if b.exhausted() {
-					break
-				}
+		sched.Inserts(cur, cs, func(from, to int) bool {
+			obj := e.Insert(from, to)
+			e.Reject()
+			b.spend(1)
+			if obj < bestObj-1e-12 {
+				bestObj, bestFrom, bestTo = obj, from, to
 			}
-		}
+			return !b.exhausted()
+		})
 		if bestFrom >= 0 {
-			sched.ApplyInsert(cur, bestFrom, bestTo)
-			curObj = bestObj
+			e.Insert(bestFrom, bestTo)
+			e.Apply()
+			curObj = e.Objective()
 			tr.record(cur, curObj)
 			improved = true
 		}
 	}
-	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: e.Order(), Objective: curObj, Traj: tr.traj, Steps: b.steps}
 }

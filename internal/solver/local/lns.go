@@ -35,11 +35,11 @@ func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 
 	for !b.exhausted() {
 		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
-		improved, _, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
+		improved, impObj, _, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
 		b.spend(nodes)
 		if improved != nil {
 			cur = improved
-			curObj = c.Objective(cur)
+			curObj = impObj // the CP engine's exact walker objective; no re-replay
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
 			}
@@ -50,19 +50,24 @@ func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 
 // relaxAndSolve performs one LNS iteration: pick `size` random indexes,
 // free their positions, and CP-search the neighborhood. It returns the
-// improved order (nil if none), whether the neighborhood was exhausted
-// (a proof that no better solution exists within it), and the CP nodes
-// consumed.
+// improved order (nil if none) with its exact objective (the CP engine
+// evaluates candidates through the shared Walker, so the value is
+// bit-identical to a fresh replay and needs no re-evaluation), whether
+// the neighborhood was exhausted (a proof that no better solution exists
+// within it), and the CP nodes consumed.
 func relaxAndSolve(c *model.Compiled, cs *constraint.Set, cur []int, curObj float64,
-	size int, failLimit int64, b *budgetTracker, opt Options) (improved []int, proof bool, nodes int64) {
+	size int, failLimit int64, b *budgetTracker, opt Options) (improved []int, impObj float64, proof bool, nodes int64) {
 
 	n := c.N
 	if size > n {
 		size = n
 	}
-	relaxed := make(map[int]bool, size)
-	for len(relaxed) < size {
-		relaxed[opt.Rng.Intn(n)] = true
+	relaxed := make([]bool, n)
+	for picked := 0; picked < size; {
+		if p := opt.Rng.Intn(n); !relaxed[p] {
+			relaxed[p] = true
+			picked++
+		}
 	}
 	fixed := make([]int, n)
 	for p, ix := range cur {
@@ -79,7 +84,7 @@ func relaxAndSolve(c *model.Compiled, cs *constraint.Set, cur []int, curObj floa
 		Fixed:     fixed,
 	})
 	if res.Solutions > 0 && res.Objective < curObj-1e-12 {
-		return res.Order, res.Proved, res.Nodes
+		return res.Order, res.Objective, res.Proved, res.Nodes
 	}
-	return nil, res.Proved, res.Nodes
+	return nil, 0, res.Proved, res.Nodes
 }

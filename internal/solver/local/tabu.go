@@ -28,8 +28,13 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 	}
 	n := c.N
 	b := newBudget(&opt)
-	cur := append([]int(nil), opt.Initial...)
-	curObj := c.Objective(cur)
+	// All candidate swaps are scored through the delta evaluator: a move
+	// costs O(disturbed suffix) instead of the full-replay O(n·plans) the
+	// seed paid, and scores are bit-identical to a replay so no drift can
+	// accumulate between iterations.
+	e := model.NewMoveEval(c, opt.Initial)
+	cur := e.Current() // live view; mutated only through e.Apply
+	curObj := e.Objective()
 	tr := &tracker{b: b, onImprove: opt.OnImprove}
 	tr.record(cur, curObj)
 	best := append([]int(nil), cur...)
@@ -40,61 +45,49 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 	}
 	// tabuUntil[i] = iteration until which moving index i is forbidden.
 	tabuUntil := make([]int, n)
-	cand := make([]int, n)
 
 	for iter := 1; !b.exhausted(); iter++ {
-		var adopted bool
-		if cur, curObj, adopted = tr.adopt(&opt, cur, curObj); adopted {
+		if ext, _, adopted := tr.adopt(&opt, cur, curObj); adopted {
+			e.SetOrder(ext)
+			curObj = e.Objective()
 			copy(best, cur) // keep Result.Order consistent with tr.best
 		}
 		bestA, bestB := -1, -1
 		bestDelta := inf()
 		found := false
-	scan:
-		for a := 0; a < n-1; a++ {
-			for bb := a + 1; bb < n; bb++ {
-				ia, ib := cur[a], cur[bb]
-				tabu := iter < tabuUntil[ia] || iter < tabuUntil[ib]
-				if !sched.SwapFeasible(cur, a, bb, cs) {
-					continue
-				}
-				copy(cand, cur)
-				sched.ApplySwap(cand, a, bb)
-				obj := c.Objective(cand)
-				b.spend(1)
-				delta := obj - curObj
-				// Aspiration: a tabu move is allowed if it beats the
-				// global best.
-				if tabu && obj >= tr.best {
-					continue
-				}
-				if delta < bestDelta {
-					bestDelta, bestA, bestB = delta, a, bb
-					found = true
-					if firstImprove && delta < -1e-12 {
-						break scan
-					}
-				}
-				if b.exhausted() {
-					break scan
+		sched.Swaps(cur, cs, func(a, bb int) bool {
+			ia, ib := cur[a], cur[bb]
+			tabu := iter < tabuUntil[ia] || iter < tabuUntil[ib]
+			obj := e.Swap(a, bb)
+			e.Reject()
+			b.spend(1)
+			delta := obj - curObj
+			// Aspiration: a tabu move is allowed if it beats the global
+			// best.
+			if tabu && obj >= tr.best {
+				return !b.exhausted()
+			}
+			if delta < bestDelta {
+				bestDelta, bestA, bestB = delta, a, bb
+				found = true
+				if firstImprove && delta < -1e-12 {
+					return false
 				}
 			}
-		}
+			return !b.exhausted()
+		})
 		if !found {
 			break // fully tabu or fully infeasible neighborhood
 		}
 		ia, ib := cur[bestA], cur[bestB]
-		sched.ApplySwap(cur, bestA, bestB)
-		curObj += bestDelta
+		e.Swap(bestA, bestB)
+		e.Apply()
+		curObj = e.Objective() // exact by construction; no delta drift
 		tabuUntil[ia] = iter + tenure
 		tabuUntil[ib] = iter + tenure
 		if curObj < tr.best-1e-12 {
-			// Re-evaluate exactly to avoid delta drift accumulating.
-			curObj = c.Objective(cur)
-			if curObj < tr.best-1e-12 {
-				tr.record(cur, curObj)
-				copy(best, cur)
-			}
+			tr.record(cur, curObj)
+			copy(best, cur)
 		}
 	}
 	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps}

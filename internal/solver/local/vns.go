@@ -39,7 +39,7 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	proofs, tried := 0, 0
 	for !b.exhausted() {
 		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
-		improved, proof, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
+		improved, impObj, proof, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
 		b.spend(nodes)
 		tried++
 		if proof {
@@ -47,7 +47,7 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		}
 		if improved != nil {
 			cur = improved
-			curObj = c.Objective(cur)
+			curObj = impObj // the CP engine's exact walker objective; no re-replay
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
 			}

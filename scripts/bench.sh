@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# bench.sh — run the move-evaluation and Table-5 benchmark suites and
+# emit BENCH_eval.json, the checked-in performance baseline for the
+# delta-evaluation core.
+#
+# Usage:
+#   scripts/bench.sh                 # run + write BENCH_eval.json
+#   COUNT=10 scripts/bench.sh        # more repetitions
+#   SEED_REF=<git-ref> scripts/bench.sh
+#       also measure the pre-MoveEval full-replay scoring cost at the
+#       given ref (e.g. the PR base commit) in a throwaway worktree and
+#       record it under "seed_baseline" — the denominator of the ≥3×
+#       move-scoring acceptance ratio.
+#
+# The JSON's "raw" array holds the unmodified `go test -bench` lines, so
+# benchstat can diff two baselines without re-running anything:
+#
+#   python3 -c 'import json,sys; print("\n".join(json.load(open(sys.argv[1]))["raw"]))' \
+#       BENCH_eval.json > old.txt
+#   ... regenerate BENCH_eval.json ...
+#   benchstat old.txt new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN="${PATTERN:-BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop}"
+OUT="${OUT:-BENCH_eval.json}"
+SEED_REF="${SEED_REF:-}"
+
+raw_file="$(mktemp)"
+seed_file="$(mktemp)"
+seed_dir=""
+cleanup() {
+    rm -f "$raw_file" "$seed_file"
+    if [ -n "$seed_dir" ]; then
+        git worktree remove --force "$seed_dir" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "== benchmarks: $PATTERN (count=$COUNT, benchtime=$BENCHTIME)" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw_file" >&2
+
+if [ -n "$SEED_REF" ]; then
+    echo "== seed baseline at $SEED_REF (full-replay move scoring)" >&2
+    seed_dir="$(mktemp -d)"
+    git worktree add --detach "$seed_dir" "$SEED_REF" >&2
+    # The seed has no MoveEval; measure what its local searches paid per
+    # candidate: copy the order, apply the move, full Objective replay.
+    cat > "$seed_dir/seed_replay_bench_test.go" <<'EOF'
+package idd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/datasets"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/sched"
+)
+
+func seedReplayPairs(n, count int) [][2]int {
+	rng := rand.New(rand.NewSource(7))
+	out := make([][2]int, count)
+	for i := range out {
+		a, b := rng.Intn(n), rng.Intn(n)
+		for b == a {
+			b = rng.Intn(n)
+		}
+		out[i] = [2]int{a, b}
+	}
+	return out
+}
+
+func BenchmarkSeed_FullReplay_Swap(b *testing.B) {
+	c := model.MustCompile(datasets.TPCH())
+	order := sched.Identity(c.N)
+	cand := make([]int, c.N)
+	pairs := seedReplayPairs(c.N, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		copy(cand, order)
+		sched.ApplySwap(cand, p[0], p[1])
+		_ = c.Objective(cand)
+	}
+}
+
+func BenchmarkSeed_FullReplay_Insert(b *testing.B) {
+	c := model.MustCompile(datasets.TPCH())
+	order := sched.Identity(c.N)
+	cand := make([]int, c.N)
+	pairs := seedReplayPairs(c.N, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		copy(cand, order)
+		sched.ApplyInsert(cand, p[0], p[1])
+		_ = c.Objective(cand)
+	}
+}
+EOF
+    (cd "$seed_dir" && go test -run '^$' -bench 'BenchmarkSeed_FullReplay' -benchmem \
+        -benchtime "$BENCHTIME" -count "$COUNT" .) | tee "$seed_file" >&2
+    git worktree remove --force "$seed_dir" >&2
+    seed_dir=""
+fi
+
+# Fold the raw `go test -bench` output into one JSON document.
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v seedfile="$seed_file" -v seedref="$SEED_REF" '
+function esc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); gsub(/\r/, "", s); return s }
+function median(vals, n,    i, j, t) {
+    for (i = 2; i <= n; i++)
+        for (j = i; j > 1 && vals[j-1] > vals[j]; j--) { t = vals[j]; vals[j] = vals[j-1]; vals[j-1] = t }
+    if (n % 2) return vals[(n+1)/2]
+    return (vals[n/2] + vals[n/2+1]) / 2
+}
+function record(line, dst,    name, f) {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { order[++norder] = name; seen[name] = 1 }
+    runs[name]++
+    for (f = 2; f <= NF; f++) {
+        if ($(f) == "ns/op")     ns[name, runs[name]] = $(f-1)
+        if ($(f) == "B/op")      bop[name] = $(f-1)
+        if ($(f) == "allocs/op") aop[name] = $(f-1)
+    }
+    raw[++nraw] = line
+}
+/^Benchmark/ { record($0) }
+/^goos:|^goarch:|^pkg:|^cpu:/ { meta[substr($1, 1, length($1)-1)] = substr($0, index($0, " ") + 1) }
+END {
+    while ((getline line < seedfile) > 0)
+        if (line ~ /^Benchmark/) { $0 = line; record(line) }
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"count\": %d,\n  \"benchtime\": \"%s\",\n", count, esc(benchtime)
+    if (seedref != "") printf "  \"seed_ref\": \"%s\",\n", esc(seedref)
+    for (m in meta) printf "  \"%s\": \"%s\",\n", esc(m), esc(meta[m])
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= norder; i++) {
+        name = order[i]
+        n = runs[name]
+        for (r = 1; r <= n; r++) v[r] = ns[name, r]
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op_median\": %g", esc(name), n, median(v, n)
+        if (name in bop) printf ", \"b_per_op\": %g, \"allocs_per_op\": %g", bop[name], aop[name]
+        printf "}%s\n", (i < norder ? "," : "")
+    }
+    printf "  ],\n  \"raw\": [\n"
+    for (i = 1; i <= nraw; i++)
+        printf "    \"%s\"%s\n", esc(raw[i]), (i < nraw ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw_file" > "$OUT"
+
+echo "wrote $OUT" >&2
