@@ -7,6 +7,7 @@
 // Usage:
 //
 //	iddserver -addr :8080 -workers 8 -queue 128 -budget 2s -max-budget 60s
+//	iddserver -workers 2 -cp-workers 4   # each solve's CP proof uses 4 goroutines
 //
 // Endpoints:
 //
@@ -45,6 +46,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		cpWorkers = flag.Int("cp-workers", 0, "parallel branch-and-bound workers per CP proof search (0 = single-threaded)")
 		queueCap  = flag.Int("queue", 64, "queued-solve capacity before 429s")
 		cacheSize = flag.Int("cache", 256, "solution cache entries")
 		budget    = flag.Duration("budget", 2*time.Second, "default per-job solve budget")
@@ -58,6 +60,7 @@ func main() {
 
 	srv := service.New(service.Config{
 		Workers:         *workers,
+		CPWorkers:       *cpWorkers,
 		QueueCap:        *queueCap,
 		CacheSize:       *cacheSize,
 		DefaultBudget:   *budget,

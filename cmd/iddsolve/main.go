@@ -6,6 +6,7 @@
 //
 //	iddsolve -method vns -budget 30s tpch.json
 //	iddsolve -method cp -budget 60s -prune tpch13.json
+//	iddsolve -method cp -cp-workers 8 tpch16.json
 //	iddsolve -method greedy tpcds.json
 //	iddsolve -method portfolio -workers 8 -budget 30s tpcds.json
 //	iddsolve -method portfolio -json r13.json | jq .objective
@@ -85,6 +86,7 @@ func main() {
 		curve    = flag.Bool("curve", false, "print the per-step improvement curve")
 		jsonOut  = flag.Bool("json", false, "emit one JSON object instead of the text report")
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
+		cpWork   = flag.Int("cp-workers", 0, "cp/portfolio: parallel branch-and-bound workers for the CP proof search (0 = single-threaded)")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -123,7 +125,7 @@ func main() {
 		stop()
 	}()
 	start := time.Now()
-	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers)
+	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *cpWork, *solvers)
 	elapsed := time.Since(start)
 	interrupted := ctx.Err() != nil
 	stop()
@@ -225,7 +227,7 @@ func printJSON(in *model.Instance, c *model.Compiled, method string, order []int
 }
 
 func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method string,
-	budget time.Duration, seed int64, workers int, solvers string) ([]int, solveOutcome) {
+	budget time.Duration, seed int64, workers, cpWorkers int, solvers string) ([]int, solveOutcome) {
 	rng := rand.New(rand.NewSource(seed))
 	lopt := func() local.Options {
 		return local.Options{
@@ -269,8 +271,14 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			Deadline:  time.Now().Add(budget),
 			Context:   ctx,
 			Incumbent: greedy.Solve(c, cs),
+			Workers:   cpWorkers,
+			Seed:      seed,
 		})
-		return res.Order, solveOutcome{note: provedNote(res.Proved), proved: &res.Proved}
+		note := provedNote(res.Proved)
+		if res.Workers > 1 {
+			note += fmt.Sprintf(" [%d workers]", res.Workers)
+		}
+		return res.Order, solveOutcome{note: note, proved: &res.Proved}
 	case "mip":
 		res, err := mip.Solve(c, cs, mip.Options{Deadline: time.Now().Add(budget), Context: ctx})
 		if err != nil {
@@ -300,10 +308,11 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			}
 		}
 		res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
-			Backends: backends,
-			Workers:  workers,
-			Budget:   budget,
-			Seed:     seed,
+			Backends:  backends,
+			Workers:   workers,
+			Budget:    budget,
+			CPWorkers: cpWorkers,
+			Seed:      seed,
 		})
 		if err != nil {
 			fail(err)

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+// TestCancelInterruptsCPProofPromptly is the regression test for the CP
+// cancellation fix: the engine used to poll the context on a node-count
+// alignment that left deep proof searches running long after their job
+// was deleted. Now every (serial or parallel) worker polls on a strict
+// stride, so a DELETE must release the solve worker within a couple of
+// seconds, not after the 30s budget.
+func TestCancelInterruptsCPProofPromptly(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CPWorkers: 4})
+	rng := rand.New(rand.NewSource(3))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 22
+	cfg.Queries = 12
+	in := randgen.New(rng, cfg)
+
+	st := decode[JobStatus](t, postJSON(t, ts.URL+"/jobs", solveRequest{
+		Instance: in,
+		Params:   Params{Backends: []string{"cp"}, Budget: Duration(30 * time.Second)},
+	}))
+	waitState(t, ts.URL, st.ID, StateRunning, 10*time.Second)
+	// Let the proof search descend well into the tree before cancelling.
+	time.Sleep(200 * time.Millisecond)
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+
+	// The DELETE cancels the run context; the cp workers must notice on
+	// their polling stride and free the (only) solve worker promptly.
+	released := time.Now()
+	for {
+		if s.Manager().Metrics().Running == 0 {
+			break
+		}
+		if time.Since(released) > 3*time.Second {
+			t.Fatalf("cp proof still holds the worker %v after DELETE", time.Since(released))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// And the freed worker immediately serves new jobs.
+	fast := decode[JobStatus](t, postJSON(t, ts.URL+"/jobs", solveRequest{
+		Instance: trapInstance(t),
+		Params:   Params{Backends: []string{"cp"}, Budget: Duration(10 * time.Second)},
+	}))
+	waitState(t, ts.URL, fast.ID, StateDone, 15*time.Second)
+}

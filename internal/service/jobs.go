@@ -41,6 +41,11 @@ type Config struct {
 	// histories) stay queryable; the oldest are evicted first and then
 	// answer 404 (0 = 4096). Queued/running jobs are never evicted.
 	MaxFinishedJobs int
+	// CPWorkers is the branch-and-bound worker budget handed to the cp
+	// backend of every solve (0 or 1 = single-threaded). It multiplies
+	// the goroutines a single job may run, so size Workers × CPWorkers
+	// to the machine.
+	CPWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -655,6 +660,7 @@ func (m *Manager) execute(r *run) {
 		Workers:   r.params.Workers,
 		Budget:    r.budget,
 		StepLimit: r.params.StepLimit,
+		CPWorkers: m.cfg.CPWorkers,
 		Seed:      r.params.Seed,
 		OnProgress: func(ev portfolio.ProgressEvent) {
 			r.emit(progressToEvent(ev), ev.Order)

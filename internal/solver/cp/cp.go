@@ -5,6 +5,14 @@
 // first-fail-flavored branching order. The engine supports failure
 // limits and frozen positions, which is exactly the interface Large
 // Neighborhood Search needs (§7.2).
+//
+// With Options.Workers > 1 the proof search runs as a work-stealing
+// parallel branch-and-bound (see parallel.go): the tree is split at
+// shallow depths into a frontier of subproblems spread over per-worker
+// deques, every worker owns a model.Walker repositioned with Sync on
+// steal, and all workers share one atomic incumbent that both publishes
+// to and consumes from the portfolio's shared store mid-proof. The
+// result is still an exact optimality proof when the frontier drains.
 package cp
 
 import (
@@ -20,23 +28,29 @@ import (
 // Options controls a CP search.
 type Options struct {
 	// FailLimit aborts the search after this many backtracks (0 = no
-	// limit). LNS uses small limits (the paper uses 500).
+	// limit). LNS uses small limits (the paper uses 500). With Workers > 1
+	// the limit is enforced against the global fail count on a polling
+	// stride, so parallel searches may overshoot it by a few hundred.
 	FailLimit int64
-	// NodeLimit aborts after this many search nodes (0 = no limit).
+	// NodeLimit aborts after this many search nodes (0 = no limit); the
+	// same parallel overshoot caveat as FailLimit applies.
 	NodeLimit int64
 	// Deadline aborts when the wall clock passes it (zero = none). The
-	// deadline is checked every few hundred nodes.
+	// deadline is checked every few dozen nodes.
 	Deadline time.Time
-	// Context, when non-nil, aborts the search when cancelled (checked
-	// every few hundred nodes, like Deadline). The portfolio runner uses
-	// it to stop all backends once one proves optimality.
+	// Context, when non-nil, aborts the search when cancelled. Every
+	// worker polls it on a node-count stride (pollStride), so service-side
+	// cancellation (e.g. a DELETE on a solve job) interrupts even proofs
+	// that are deep in the tree within microseconds.
 	Context context.Context
 	// ExternalBound, when non-nil, is polled for the best objective known
 	// outside this search (the portfolio's shared incumbent); subtrees
 	// that cannot beat it are pruned in addition to the solver's own
 	// incumbent. When the search then exhausts, Proved means "no order
 	// strictly better than the tightest bound seen exists" — the external
-	// incumbent is optimal even if this search never matched it.
+	// incumbent is optimal even if this search never matched it. In
+	// parallel mode every worker polls it, so CP consumes portfolio
+	// incumbents mid-proof.
 	ExternalBound func() float64
 	// Incumbent, when non-nil, seeds the search with a known feasible
 	// order; only strictly better solutions are reported.
@@ -46,8 +60,26 @@ type Options struct {
 	// implement LNS relaxations.
 	Fixed []int
 	// OnSolution, when non-nil, is invoked for every improving solution
-	// (with a copy of the order).
+	// (with a copy of the order). With Workers > 1 it may be invoked from
+	// any worker goroutine; calls are serialized under the incumbent lock,
+	// so objectives still arrive strictly decreasing.
 	OnSolution func(order []int, objective float64)
+
+	// Workers sets the number of branch-and-bound worker goroutines
+	// (0 or 1 = single-threaded). The single-threaded search is fully
+	// deterministic — identical instances yield identical node/fail
+	// counts and solution sequences. Parallel searches prove the same
+	// optimum but their effort counters depend on steal timing.
+	Workers int
+	// SplitDepth bounds the tree depth below which nodes donate their
+	// sibling branches to the shared frontier instead of exploring them
+	// in-line (0 = auto-sized from N and Workers). Deeper splits make
+	// more, smaller subproblems.
+	SplitDepth int
+	// Seed derives each worker's private steal-victim RNG. Two parallel
+	// runs with the same seed still differ in scheduling; the seed only
+	// makes victim choice reproducible given identical schedules.
+	Seed int64
 
 	// Ablation switches (benchmarks only; keep both false in real use):
 	// NaiveBranching disables the density-guided value ordering, and
@@ -66,11 +98,20 @@ type Result struct {
 	// Proved is true when the search space was exhausted, i.e. Order is
 	// proved optimal (under the frozen positions, if any).
 	Proved bool
-	// Nodes and Fails count search effort.
+	// Nodes and Fails count search effort, summed over all workers.
 	Nodes, Fails int64
 	// Solutions counts improving solutions found during this search.
 	Solutions int
+	// Workers reports how many workers actually ran (1 for the serial
+	// engine).
+	Workers int
 }
+
+// pollStride is how many nodes a worker expands between checks of the
+// deadline, the context, and (parallel mode) the global abort flag and
+// shared effort counters. At the engine's node rates (µs/node) this
+// bounds cancellation latency to well under a millisecond.
+const pollStride = 64
 
 type searcher struct {
 	c   *model.Compiled
@@ -80,6 +121,9 @@ type searcher struct {
 
 	w      *model.Walker
 	placed []bool
+	// order[0:k] is the current prefix (order[j] = index placed j-th);
+	// maintained by dfs so frontier splits can capture prefixes cheaply.
+	order []int
 	// predsLeft[i] = number of not-yet-placed predecessors of i.
 	predsLeft []int
 	// maxPos/minPos from the constraint relation (static).
@@ -94,15 +138,18 @@ type searcher struct {
 	fails     int64
 	solutions int
 	aborted   bool
+	poll      int // countdown to the next deadline/context poll
+
+	// Parallel-mode hookup (nil for the serial engine): the shared run
+	// state, this worker's id, and high-water marks of the effort already
+	// flushed into the run's global counters.
+	par          *parRun
+	wid          int
+	flushedNodes int64
+	flushedFails int64
 }
 
-// Solve runs the CP search. cs may be nil (no precedence/analysis
-// constraints). Passing contradictory Fixed assignments yields an
-// exhausted search with no solution (Proved=true, Order=Incumbent).
-func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
-	if cs == nil {
-		cs = constraint.NewSet(c.N)
-	}
+func newSearcher(c *model.Compiled, cs *constraint.Set, opt Options) *searcher {
 	s := &searcher{
 		c:         c,
 		cs:        cs,
@@ -110,10 +157,12 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		lb:        bruteforce.NewLowerBound(c),
 		w:         model.NewWalker(c),
 		placed:    make([]bool, c.N),
+		order:     make([]int, c.N),
 		predsLeft: make([]int, c.N),
 		minPos:    make([]int, c.N),
 		maxPos:    make([]int, c.N),
 		bestObj:   math.Inf(1),
+		poll:      pollStride,
 	}
 	for i := 0; i < c.N; i++ {
 		s.predsLeft[i] = cs.Predecessors(i).Count()
@@ -131,6 +180,20 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 			}
 		}
 	}
+	return s
+}
+
+// Solve runs the CP search. cs may be nil (no precedence/analysis
+// constraints). Passing contradictory Fixed assignments yields an
+// exhausted search with no solution (Proved=true, Order=Incumbent).
+func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	if opt.Workers > 1 && c.N > 1 {
+		return solveParallel(c, cs, opt)
+	}
+	s := newSearcher(c, cs, opt)
 	if opt.Incumbent != nil {
 		s.best = append([]int(nil), opt.Incumbent...)
 		s.bestObj = c.Objective(opt.Incumbent)
@@ -143,21 +206,33 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		Nodes:     s.nodes,
 		Fails:     s.fails,
 		Solutions: s.solutions,
+		Workers:   1,
 	}
 }
 
 // limitHit checks abort conditions; it is cheap enough to call per node.
+// Step limits are exact; the clock and the context are polled every
+// pollStride nodes through a plain countdown, so cancellation latency no
+// longer depends on how the node counter happens to align (the old
+// modulo check) or how deep in the tree the search currently is.
 func (s *searcher) limitHit() bool {
+	if s.par != nil {
+		return s.parLimitHit()
+	}
 	if s.opt.FailLimit > 0 && s.fails >= s.opt.FailLimit {
 		return true
 	}
 	if s.opt.NodeLimit > 0 && s.nodes >= s.opt.NodeLimit {
 		return true
 	}
-	if !s.opt.Deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.opt.Deadline) {
+	if s.poll--; s.poll > 0 {
+		return false
+	}
+	s.poll = pollStride
+	if !s.opt.Deadline.IsZero() && time.Now().After(s.opt.Deadline) {
 		return true
 	}
-	if s.opt.Context != nil && s.nodes%256 == 0 {
+	if s.opt.Context != nil {
 		select {
 		case <-s.opt.Context.Done():
 			return true
@@ -178,6 +253,12 @@ func (s *searcher) dfs(k int) bool {
 	n := s.c.N
 	if k == n {
 		obj := s.w.Objective()
+		if s.par != nil {
+			if s.par.inc.offer(s.order, obj) {
+				s.solutions++
+			}
+			return true
+		}
 		if obj < s.bestObj-1e-12 {
 			s.bestObj = obj
 			s.best = s.w.Order()
@@ -193,6 +274,11 @@ func (s *searcher) dfs(k int) bool {
 	// completion cannot beat the incumbent — the solver's own or, in
 	// portfolio mode, the best any backend has published so far.
 	ub := s.bestObj
+	if s.par != nil {
+		if g := s.par.inc.objective(); g < ub {
+			ub = g
+		}
+	}
 	if s.opt.ExternalBound != nil {
 		if e := s.opt.ExternalBound(); e < ub {
 			ub = e
@@ -210,7 +296,14 @@ func (s *searcher) dfs(k int) bool {
 		s.fails++
 		return true
 	}
+	if s.par != nil && k < s.par.splitDepth && len(cands) > 1 {
+		// Frontier split: keep the most promising branch for this worker
+		// and donate the siblings to the shared deque pool.
+		s.par.spawn(s, k, cands[1:])
+		cands = cands[:1]
+	}
 	for _, i := range cands {
+		s.order[k] = i
 		s.place(i)
 		ok := s.dfs(k + 1)
 		s.unplace(i)

@@ -1,0 +1,50 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+)
+
+// FuzzCPParallel cross-checks the work-stealing parallel proof search
+// against exhaustive enumeration on tiny random instances: for any
+// instance shape, worker count, split depth and seed, the parallel
+// engine must prove the brute-force optimum with a feasible order.
+func FuzzCPParallel(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2), uint8(20), uint8(0))
+	f.Add(int64(7), uint8(8), uint8(8), uint8(0), uint8(3))
+	f.Add(int64(42), uint8(4), uint8(3), uint8(45), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n, workers, precPct, split uint8) {
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = 3 + int(n%6) // 3..8: brute force is instant
+		cfg.Queries = 3 + int(n%4)
+		cfg.PrecedenceProb = float64(precPct%50) / 100
+		cfg.BuildInteractionProb = 0.1
+		in := randgen.New(rand.New(rand.NewSource(seed)), cfg)
+		c := model.MustCompile(in)
+		cs := sched.PrecedenceSet(in)
+		bf, err := bruteforce.Solve(c, cs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Solve(c, cs, Options{
+			Workers:    2 + int(workers%7), // 2..8
+			SplitDepth: int(split % 10),    // 0 = auto, up to deeper than n
+			Seed:       seed,
+		})
+		if !res.Proved {
+			t.Fatalf("parallel search not exhausted on %d indexes", c.N)
+		}
+		if math.Abs(res.Objective-bf.Objective) > 1e-9*(1+bf.Objective) {
+			t.Fatalf("parallel cp %v != bruteforce %v", res.Objective, bf.Objective)
+		}
+		if err := in.ValidOrder(res.Order); err != nil {
+			t.Fatalf("infeasible order: %v", err)
+		}
+	})
+}

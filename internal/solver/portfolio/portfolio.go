@@ -140,6 +140,13 @@ type Options struct {
 	// search steps (local-search steps / CP, A*, MIP nodes), making runs
 	// reproducible for tests regardless of wall-clock speed.
 	StepLimit int64
+	// CPWorkers is the worker budget handed to the cp backend: the
+	// number of branch-and-bound goroutines its work-stealing proof
+	// search runs (0 or 1 = single-threaded). These are goroutines
+	// inside one backend slot, on top of the portfolio's own Workers
+	// concurrency; the cp backend both publishes its incumbents to the
+	// shared store and prunes against it mid-proof either way.
+	CPWorkers int
 	// Seed derives each randomized backend's private RNG.
 	Seed int64
 	// Initial seeds the incumbent store (nil = greedy.Solve).
@@ -253,14 +260,15 @@ type Result struct {
 
 // env is what a backend run receives from the orchestrator.
 type env struct {
-	c       *model.Compiled
-	cs      *constraint.Set
-	sh      *Store
-	slice   time.Duration // this backend's share of the remaining budget
-	steps   int64         // Options.StepLimit (0 = none)
-	seed    int64
-	initial []int
-	publish func(order []int, obj float64)
+	c         *model.Compiled
+	cs        *constraint.Set
+	sh        *Store
+	slice     time.Duration // this backend's share of the remaining budget
+	steps     int64         // Options.StepLimit (0 = none)
+	cpWorkers int           // Options.CPWorkers (cp backend only)
+	seed      int64
+	initial   []int
+	publish   func(order []int, obj float64)
 }
 
 // outcome is what a backend run reports back.
@@ -454,18 +462,27 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 					slice = time.Millisecond
 				}
 				bctx, bcancel := context.WithTimeout(parent, slice)
+				// The parallel cp backend invokes its solution callback
+				// from its internal worker goroutines (cp happens to
+				// serialize them under its incumbent lock, but that is
+				// cp's implementation detail); the orchestrator guards
+				// br's contribution counters with its own mutex instead
+				// of relying on any backend's internal locking. Backends
+				// join their goroutines before returning, so br is
+				// settled when it is read below.
+				var pubMu sync.Mutex
 				e := &env{
 					c: c, cs: cs, sh: sh, slice: slice, steps: opt.StepLimit,
-					seed: opt.Seed + int64(j)*0x9E3779B9, initial: initial,
-					// The publish callback runs on this goroutine only
-					// (backends invoke their callbacks synchronously), so
-					// it can write br's contribution counters directly.
+					cpWorkers: opt.CPWorkers,
+					seed:      opt.Seed + int64(j)*0x9E3779B9, initial: initial,
 					publish: func(order []int, obj float64) {
 						if !sh.Offer(name, order, obj) {
 							return
 						}
+						pubMu.Lock()
 						br.BestPublished = obj
 						br.Improvements++
+						pubMu.Unlock()
 						improved(name, order, obj)
 					},
 				}
@@ -584,13 +601,18 @@ func runAstar(ctx context.Context, e *env) outcome {
 
 func runCP(ctx context.Context, e *env) outcome {
 	// No Deadline: the orchestrator's per-backend context already carries
-	// the slice timeout, and cp polls it at the same cadence.
+	// the slice timeout, and cp polls it at the same cadence. With a
+	// CPWorkers budget the proof search runs work-stealing parallel
+	// branch-and-bound, publishing incumbents to and pruning against the
+	// shared store from every worker.
 	res := cp.Solve(e.c, e.cs, cp.Options{
 		NodeLimit:     e.steps,
 		Context:       ctx,
 		Incumbent:     e.initial,
 		ExternalBound: e.sh.Objective,
 		OnSolution:    e.publish,
+		Workers:       e.cpWorkers,
+		Seed:          e.seed,
 	})
 	return outcome{order: res.Order, obj: res.Objective, proved: res.Proved, iters: res.Nodes}
 }

@@ -403,3 +403,33 @@ func assertFeasible(t *testing.T, n int, cs *constraint.Set, order []int) {
 	t.Helper()
 	solvertest.RequireFeasible(t, n, cs, order)
 }
+
+// TestSolveCPWorkerBudget: with a CPWorkers budget the cp backend runs
+// its work-stealing proof search, still proves the conformance optima,
+// and its incumbent publications flow through the shared store without
+// corrupting the per-backend telemetry (the publish callback is invoked
+// concurrently from cp's internal workers).
+func TestSolveCPWorkerBudget(t *testing.T) {
+	for _, cse := range solvertest.Cases(t) {
+		res, err := Solve(context.Background(), cse.C, cse.CS, Options{
+			Backends:  []string{"cp"},
+			Budget:    20 * time.Second,
+			CPWorkers: 4,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Proved {
+			t.Fatalf("%s: parallel cp did not prove optimality", cse.Name)
+		}
+		solvertest.RequireOptimal(t, cse, res.Order)
+		cpr := res.Backends[0]
+		if cpr.Name != "cp" || !cpr.Proved {
+			t.Fatalf("%s: cp telemetry missing the proof: %+v", cse.Name, cpr)
+		}
+		if cpr.Improvements > 0 && math.IsInf(cpr.BestPublished, 1) {
+			t.Fatalf("%s: improvements without a published objective", cse.Name)
+		}
+	}
+}

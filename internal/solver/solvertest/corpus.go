@@ -1,0 +1,93 @@
+package solvertest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+// Corpus returns the generated conformance corpus: ~30 random but
+// structurally varied instances, every one small enough for exhaustive
+// enumeration, with optima verified by brute force. Where the
+// hand-crafted Cases table probes each model feature in isolation, the
+// corpus sweeps the axes that stress a parallel proof search: instance
+// size (frontier width), precedence density (forced moves and dead
+// ends), build-interaction density (order-sensitive costs), cost
+// tightness (near-uniform costs make the objective bound weak, so the
+// search leans on combinatorial pruning), and explicit query weights —
+// including weight 0, which the model defines as "default weight 1" and
+// a solver reading Query.Weight directly would mishandle.
+func Corpus(tb testing.TB) []*Case {
+	tb.Helper()
+	return casesFrom(tb, CorpusInstances())
+}
+
+// corpusVariant is one point on the generation grid.
+type corpusVariant struct {
+	name  string
+	tweak func(cfg *randgen.Config)
+	// post mutates the generated instance (e.g. explicit weights).
+	post func(in *model.Instance, rng *rand.Rand)
+}
+
+var corpusVariants = []corpusVariant{
+	{name: "plain", tweak: func(cfg *randgen.Config) {
+		cfg.PrecedenceProb = 0
+		cfg.BuildInteractionProb = 0
+	}},
+	{name: "prec-light", tweak: func(cfg *randgen.Config) {
+		cfg.PrecedenceProb = 0.15
+	}},
+	{name: "prec-dense", tweak: func(cfg *randgen.Config) {
+		cfg.PrecedenceProb = 0.45
+	}},
+	{name: "build-heavy", tweak: func(cfg *randgen.Config) {
+		cfg.BuildInteractionProb = 0.25
+	}},
+	// Near-uniform, large creation costs: the admissible objective bound
+	// degenerates (every completion pays almost the same deployment
+	// area), forcing the search to rely on combinatorial pruning — the
+	// regime a tight deployment budget puts the paper's instances in.
+	{name: "tight-costs", tweak: func(cfg *randgen.Config) {
+		cfg.CreateCostLo, cfg.CreateCostHi = 80, 92
+		cfg.PrecedenceProb = 0.1
+	}},
+	// Explicit weights, including zero (= default weight 1 per
+	// model.QueryWeight) and fractional and heavy ones.
+	{name: "weighted", tweak: func(cfg *randgen.Config) {
+		cfg.BuildInteractionProb = 0.1
+	}, post: func(in *model.Instance, rng *rand.Rand) {
+		weights := []float64{0, 2, 0.5, 3, 0.25}
+		for q := range in.Queries {
+			in.Queries[q].Weight = weights[q%len(weights)]
+		}
+	}},
+}
+
+// CorpusInstances generates the raw corpus deterministically: sizes 5-9
+// crossed with the six structural variants.
+func CorpusInstances() []*model.Instance {
+	var out []*model.Instance
+	for n := 5; n <= 9; n++ {
+		for vi, v := range corpusVariants {
+			cfg := randgen.DefaultConfig()
+			cfg.Indexes = n
+			cfg.Queries = 3 + (n+vi)%5
+			v.tweak(&cfg)
+			rng := rand.New(rand.NewSource(int64(1000*n + vi)))
+			in := randgen.New(rng, cfg)
+			in.Name = fmt.Sprintf("corpus-n%d-%s", n, v.name)
+			if v.post != nil {
+				v.post(in, rng)
+				if err := in.Validate(); err != nil {
+					panic(fmt.Sprintf("solvertest: corpus post-tweak broke %s: %v", in.Name, err))
+				}
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}

@@ -36,8 +36,15 @@ type Case struct {
 // by exhaustive enumeration.
 func Cases(tb testing.TB) []*Case {
 	tb.Helper()
+	return casesFrom(tb, Instances())
+}
+
+// casesFrom compiles instances and verifies their optima by brute force;
+// shared by the hand-crafted table and the generated Corpus.
+func casesFrom(tb testing.TB, instances []*model.Instance) []*Case {
+	tb.Helper()
 	var out []*Case
-	for _, in := range Instances() {
+	for _, in := range instances {
 		c, err := model.Compile(in)
 		if err != nil {
 			tb.Fatalf("case %s: compile: %v", in.Name, err)

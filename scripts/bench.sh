@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# bench.sh — run the move-evaluation and Table-5 benchmark suites and
-# emit BENCH_eval.json, the checked-in performance baseline for the
-# delta-evaluation core.
+# bench.sh — run the move-evaluation, Table-5 and parallel-CP benchmark
+# suites and emit BENCH_eval.json, the checked-in performance baseline
+# for the delta-evaluation core and the work-stealing proof search.
+#
+# The "cp_parallel" summary records the optimality-proof wall clock of
+# the reduced TPC-H n=20 instance at 1/2/8 CP workers and the resulting
+# speedups. Wall-clock speedup is bounded by the cores the runner
+# actually has ("cpus" in the JSON): a single-core container measures
+# ~1x by construction; rerun on multi-core hardware for the real curve.
 #
 # Usage:
 #   scripts/bench.sh                 # run + write BENCH_eval.json
@@ -24,7 +30,7 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${PATTERN:-BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop}"
+PATTERN="${PATTERN:-BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop|BenchmarkCPParallel}"
 OUT="${OUT:-BENCH_eval.json}"
 SEED_REF="${SEED_REF:-}"
 
@@ -110,7 +116,7 @@ EOF
 fi
 
 # Fold the raw `go test -bench` output into one JSON document.
-awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v seedfile="$seed_file" -v seedref="$SEED_REF" '
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v seedfile="$seed_file" -v seedref="$SEED_REF" -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)" '
 function esc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); gsub(/\r/, "", s); return s }
 function median(vals, n,    i, j, t) {
     for (i = 2; i <= n; i++)
@@ -134,21 +140,41 @@ function record(line, dst,    name, f) {
 END {
     while ((getline line < seedfile) > 0)
         if (line ~ /^Benchmark/) { $0 = line; record(line) }
+    for (i = 1; i <= norder; i++) {
+        name = order[i]
+        n = runs[name]
+        for (r = 1; r <= n; r++) v[r] = ns[name, r]
+        med[name] = median(v, n)
+    }
     printf "{\n"
     printf "  \"generated_by\": \"scripts/bench.sh\",\n"
     printf "  \"count\": %d,\n  \"benchtime\": \"%s\",\n", count, esc(benchtime)
+    printf "  \"cpus\": %d,\n", cpus
     if (seedref != "") printf "  \"seed_ref\": \"%s\",\n", esc(seedref)
     for (m in meta) printf "  \"%s\": \"%s\",\n", esc(m), esc(meta[m])
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= norder; i++) {
         name = order[i]
-        n = runs[name]
-        for (r = 1; r <= n; r++) v[r] = ns[name, r]
-        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op_median\": %g", esc(name), n, median(v, n)
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op_median\": %g", esc(name), runs[name], med[name]
         if (name in bop) printf ", \"b_per_op\": %g, \"allocs_per_op\": %g", bop[name], aop[name]
         printf "}%s\n", (i < norder ? "," : "")
     }
-    printf "  ],\n  \"raw\": [\n"
+    printf "  ],\n"
+    w1 = "BenchmarkCPParallel_ProofN20Low_W1"
+    w2 = "BenchmarkCPParallel_ProofN20Low_W2"
+    w8 = "BenchmarkCPParallel_ProofN20Low_W8"
+    if ((w1 in med) && (w8 in med)) {
+        printf "  \"cp_parallel\": {\n"
+        printf "    \"proof_instance\": \"reduced-tpch-n20-low (analyzed constraints, greedy incumbent)\",\n"
+        printf "    \"proof_ns_w1\": %g,\n", med[w1]
+        if (w2 in med) printf "    \"proof_ns_w2\": %g,\n", med[w2]
+        printf "    \"proof_ns_w8\": %g,\n", med[w8]
+        if (w2 in med) printf "    \"speedup_w2\": %.3f,\n", med[w1] / med[w2]
+        printf "    \"speedup_w8\": %.3f,\n", med[w1] / med[w8]
+        printf "    \"note\": \"speedup is bounded by the cpus count above; a 1-cpu runner measures ~1x by construction\"\n"
+        printf "  },\n"
+    }
+    printf "  \"raw\": [\n"
     for (i = 1; i <= nraw; i++)
         printf "    \"%s\"%s\n", esc(raw[i]), (i < nraw ? "," : "")
     printf "  ]\n}\n"
