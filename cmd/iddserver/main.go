@@ -7,7 +7,7 @@
 // Usage:
 //
 //	iddserver -addr :8080 -workers 8 -queue 128 -budget 2s -max-budget 60s
-//	iddserver -workers 2 -cp-workers 4   # each solve's CP proof uses 4 goroutines
+//	iddserver -workers 2 -param cp.workers=4   # each solve's CP proof uses 4 goroutines
 //
 // Endpoints:
 //
@@ -16,13 +16,17 @@
 //	GET    /jobs/{id}        job status, result when finished
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	GET    /jobs/{id}/events server-sent events: incumbent progress
+//	GET    /solvers          registered backends + declared param specs
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          queue/cache/backend counters (JSON)
 //
 // Request bodies are either a JSON envelope
-// {"instance": {...}, "budget": "2s", "backends": ["cp","vns"], ...}
-// or a compact text matrix file with the same knobs as URL query
-// parameters (?budget=2s&backends=cp,vns&priority=5&seed=1).
+// {"instance": {...}, "budget": "2s", "backends": ["cp","vns"],
+// "params": {"cp.workers": 4}, ...} or a compact text matrix file with
+// the same knobs as URL query parameters
+// (?budget=2s&backends=cp,vns&priority=5&seed=1&param=cp.workers=4).
+// GET /solvers lists the valid backends and params; -param sets
+// server-wide defaults that requests may override per job.
 //
 // On SIGINT/SIGTERM the server stops accepting work and drains queued
 // and running jobs for up to -drain before cancelling what remains.
@@ -40,13 +44,15 @@ import (
 	"time"
 
 	"github.com/evolving-olap/idd/internal/service"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 )
 
 func main() {
+	var rawParams backend.ParamFlag
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
-		cpWorkers = flag.Int("cp-workers", 0, "parallel branch-and-bound workers per CP proof search (0 = single-threaded)")
+		cpWorkers = flag.Int("cp-workers", 0, "deprecated alias of -param cp.workers=N")
 		queueCap  = flag.Int("queue", 64, "queued-solve capacity before 429s")
 		cacheSize = flag.Int("cache", 256, "solution cache entries")
 		budget    = flag.Duration("budget", 2*time.Second, "default per-job solve budget")
@@ -56,11 +62,19 @@ func main() {
 		retain    = flag.Int("retain", 4096, "finished jobs kept queryable before eviction")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain window")
 	)
+	flag.Var(&rawParams, "param", "server-wide default backend param as key=value (repeatable; see GET /solvers)")
 	flag.Parse()
 
+	defaults, err := backend.ParseParams(rawParams)
+	if err != nil {
+		log.Fatalf("iddserver: %v", err)
+	}
+
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		CPWorkers:       *cpWorkers,
+		Workers:       *workers,
+		DefaultParams: defaults,
+		CPWorkers:     *cpWorkers, // deprecated alias; -param cp.workers wins
+
 		QueueCap:        *queueCap,
 		CacheSize:       *cacheSize,
 		DefaultBudget:   *budget,

@@ -4,16 +4,19 @@
 //
 // Usage:
 //
+//	iddsolve -list-solvers
 //	iddsolve -method vns -budget 30s tpch.json
 //	iddsolve -method cp -budget 60s -prune tpch13.json
-//	iddsolve -method cp -cp-workers 8 tpch16.json
+//	iddsolve -method cp -param cp.workers=8 tpch16.json
 //	iddsolve -method greedy tpcds.json
 //	iddsolve -method portfolio -workers 8 -budget 30s tpcds.json
 //	iddsolve -method portfolio -json r13.json | jq .objective
 //
-// Methods: greedy, dp, cp, astar, mip, bruteforce, tabu-b, tabu-f, lns,
-// vns, anneal, random, and portfolio — which races a set of backends
-// concurrently with a shared incumbent (see -workers and -solvers).
+// Methods are the solver backends of the self-describing registry
+// (internal/solver/backend; run -list-solvers for the roster and each
+// backend's -param knobs) plus two pseudo-methods: random, and
+// portfolio — which races a set of backends concurrently with a shared
+// incumbent (see -workers and -solvers).
 //
 // -json replaces the human-readable report with a single JSON object on
 // stdout so scripts (and the iddserver examples) can consume results
@@ -26,6 +29,12 @@
 // its budget — or was interrupted — without an optimality proof. The
 // best incumbent is still printed in that case.
 //
+// -budget (default 10s) bounds EVERY method uniformly. Note for
+// pre-registry scripts: bruteforce and astar used to ignore -budget and
+// run unbounded; they now stop at the budget like everything else and
+// exit 3 when the proof did not finish — raise -budget to reproduce the
+// old run-to-proof behavior.
+//
 // SIGINT cancels the search gracefully: the solver stops at the next
 // cancellation point and the best incumbent found so far is printed
 // (marked "interrupted"). A second SIGINT kills the process.
@@ -36,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -51,13 +61,9 @@ import (
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/sched"
-	"github.com/evolving-olap/idd/internal/solver/astar"
-	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 	"github.com/evolving-olap/idd/internal/solver/cp"
-	"github.com/evolving-olap/idd/internal/solver/dp"
 	"github.com/evolving-olap/idd/internal/solver/greedy"
-	"github.com/evolving-olap/idd/internal/solver/local"
-	"github.com/evolving-olap/idd/internal/solver/mip"
 	"github.com/evolving-olap/idd/internal/solver/portfolio"
 )
 
@@ -75,27 +81,44 @@ type solveOutcome struct {
 	// otherwise whether an optimality proof landed.
 	proved *bool
 	winner string
+	// workers is the internal parallelism the backend reported (cp's
+	// branch-and-bound goroutines; 0 = not reported).
+	workers int
 }
 
 func main() {
+	var rawParams backend.ParamFlag
 	var (
-		method   = flag.String("method", "vns", "solution method")
+		method   = flag.String("method", "vns", "solution method (a registered backend, random, or portfolio; see -list-solvers)")
 		budget   = flag.Duration("budget", 10*time.Second, "time budget for search methods")
 		usePrune = flag.Bool("prune", true, "run the §5 analysis and add its constraints")
 		seed     = flag.Int64("seed", 1, "random seed for local search")
 		curve    = flag.Bool("curve", false, "print the per-step improvement curve")
 		jsonOut  = flag.Bool("json", false, "emit one JSON object instead of the text report")
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
-		cpWork   = flag.Int("cp-workers", 0, "cp/portfolio: parallel branch-and-bound workers for the CP proof search (0 = single-threaded)")
+		cpWork   = flag.Int("cp-workers", 0, "deprecated alias of -param cp.workers=N")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
+		list     = flag.Bool("list-solvers", false, "list the registered solver backends and their -param knobs, then exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
+	flag.Var(&rawParams, "param", "backend param as key=value (repeatable; see -list-solvers for the valid keys)")
 	flag.Parse()
+	if *list {
+		listSolvers(os.Stdout)
+		exit(exitSolved)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: iddsolve [flags] <instance file>")
 		exit(exitInvalid)
 	}
+	params, err := backend.ParseParams(rawParams)
+	if err != nil {
+		fail(err)
+	}
+	// Deprecated -cp-workers alias; an explicit -param wins (even
+	// -param cp.workers=0, which forces the serial engine).
+	params = params.WithIntFallback(cp.ParamWorkers, *cpWork)
 	startProfiles(*cpuProf, *memProf)
 	in, err := codec.LoadFile(flag.Arg(0))
 	if err != nil {
@@ -125,7 +148,7 @@ func main() {
 		stop()
 	}()
 	start := time.Now()
-	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *cpWork, *solvers)
+	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers, params)
 	elapsed := time.Since(start)
 	interrupted := ctx.Err() != nil
 	stop()
@@ -174,6 +197,7 @@ type jsonReport struct {
 	FinalRuntime float64   `json:"final_runtime"`
 	Proved       *bool     `json:"proved,omitempty"`
 	Winner       string    `json:"winner,omitempty"`
+	Workers      int       `json:"workers,omitempty"`
 	Interrupted  bool      `json:"interrupted,omitempty"`
 	ElapsedMS    int64     `json:"elapsed_ms"`
 	Order        []int     `json:"order"`
@@ -202,6 +226,7 @@ func printJSON(in *model.Instance, c *model.Compiled, method string, order []int
 		FinalRuntime: final,
 		Proved:       outcome.proved,
 		Winner:       outcome.winner,
+		Workers:      outcome.workers,
 		Interrupted:  interrupted,
 		ElapsedMS:    elapsed.Milliseconds(),
 		Order:        order,
@@ -227,77 +252,12 @@ func printJSON(in *model.Instance, c *model.Compiled, method string, order []int
 }
 
 func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method string,
-	budget time.Duration, seed int64, workers, cpWorkers int, solvers string) ([]int, solveOutcome) {
-	rng := rand.New(rand.NewSource(seed))
-	lopt := func() local.Options {
-		return local.Options{
-			Initial: greedy.Solve(c, cs),
-			Budget:  budget,
-			Rng:     rng,
-			Context: ctx,
-		}
-	}
-	heuristic := func(order []int) ([]int, solveOutcome) {
-		return order, solveOutcome{}
-	}
+	budget time.Duration, seed int64, workers int, solvers string,
+	params backend.Params) ([]int, solveOutcome) {
 	switch method {
-	case "greedy":
-		return heuristic(greedy.Solve(c, cs))
-	case "dp":
-		return heuristic(dp.Solve(c))
 	case "random":
-		return heuristic(sched.RandomFeasible(rng, cs))
-	case "bruteforce":
-		res, err := bruteforce.SolveContext(ctx, c, cs, true)
-		if err != nil {
-			fail(err)
-		}
-		proved := !res.Aborted
-		return res.Order, solveOutcome{note: provedNote(proved), proved: &proved}
-	case "astar":
-		res, err := astar.Solve(c, cs, astar.Options{Context: ctx})
-		if err != nil {
-			fail(err)
-		}
-		order := res.Order
-		if order == nil {
-			// A cancelled A* may have no own order; fall back to greedy so
-			// the CLI always reports a feasible schedule.
-			order = greedy.Solve(c, cs)
-		}
-		return order, solveOutcome{note: provedNote(res.Proved), proved: &res.Proved}
-	case "cp":
-		res := cp.Solve(c, cs, cp.Options{
-			Deadline:  time.Now().Add(budget),
-			Context:   ctx,
-			Incumbent: greedy.Solve(c, cs),
-			Workers:   cpWorkers,
-			Seed:      seed,
-		})
-		note := provedNote(res.Proved)
-		if res.Workers > 1 {
-			note += fmt.Sprintf(" [%d workers]", res.Workers)
-		}
-		return res.Order, solveOutcome{note: note, proved: &res.Proved}
-	case "mip":
-		res, err := mip.Solve(c, cs, mip.Options{Deadline: time.Now().Add(budget), Context: ctx})
-		if err != nil {
-			fail(err)
-		}
-		return res.Order, solveOutcome{
-			note:   provedNote(res.Proved) + fmt.Sprintf(" [%d vars, %d rows]", res.Vars, res.Rows),
-			proved: &res.Proved,
-		}
-	case "tabu-b":
-		return heuristic(local.TabuBSwap(c, cs, lopt()).Order)
-	case "tabu-f":
-		return heuristic(local.TabuFSwap(c, cs, lopt()).Order)
-	case "lns":
-		return heuristic(local.LNS(c, cs, lopt()).Order)
-	case "vns":
-		return heuristic(local.VNS(c, cs, lopt()).Order)
-	case "anneal":
-		return heuristic(local.Anneal(c, cs, lopt()).Order)
+		rng := rand.New(rand.NewSource(seed))
+		return sched.RandomFeasible(rng, cs), solveOutcome{}
 	case "portfolio":
 		var backends []string
 		if solvers != "" {
@@ -308,11 +268,11 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			}
 		}
 		res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
-			Backends:  backends,
-			Workers:   workers,
-			Budget:    budget,
-			CPWorkers: cpWorkers,
-			Seed:      seed,
+			Backends: backends,
+			Workers:  workers,
+			Budget:   budget,
+			Params:   params,
+			Seed:     seed,
 		})
 		if err != nil {
 			fail(err)
@@ -343,10 +303,70 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			winner: res.Winner,
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q\n", method)
-		exit(exitInvalid)
-		return nil, solveOutcome{}
+		// Every other method is a registered backend, run standalone with
+		// the full budget (the registry is also what -list-solvers and
+		// the portfolio race draw from, so the rosters always agree).
+		b, ok := backend.Lookup(method)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iddsolve: unknown method %q (methods: %s, random, portfolio)\n",
+				method, strings.Join(backend.Names(), ", "))
+			exit(exitInvalid)
+			return nil, solveOutcome{}
+		}
+		info := b.Info()
+		bctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		out := b.Solve(bctx, backend.Request{
+			Compiled:    c,
+			Constraints: cs,
+			Budget:      budget,
+			Seed:        seed,
+			Initial:     greedy.Solve(c, cs),
+			Params:      params,
+		})
+		if out.Err != nil {
+			fail(out.Err)
+		}
+		order := out.Order
+		if order == nil {
+			// A cancelled exact search may have no own order (e.g. A*
+			// proving via its bound); fall back to greedy so the CLI
+			// always reports a feasible schedule.
+			order = greedy.Solve(c, cs)
+		}
+		oc := solveOutcome{workers: out.Workers}
+		if info.Proves {
+			proved := out.Proved
+			oc.proved = &proved
+			oc.note = provedNote(proved)
+		}
+		if out.Workers > 1 {
+			oc.note += fmt.Sprintf(" [%d workers]", out.Workers)
+		}
+		return order, oc
 	}
+}
+
+// listSolvers prints the registry roster with each backend's declared
+// params (-list-solvers).
+func listSolvers(w io.Writer) {
+	fmt.Fprintf(w, "%-11s %-13s %-7s %s\n", "NAME", "KIND", "PROVES", "SUMMARY")
+	for _, b := range backend.All() {
+		info := b.Info()
+		proves := "-"
+		if info.Proves {
+			proves = "yes"
+		}
+		fmt.Fprintf(w, "%-11s %-13s %-7s %s\n", info.Name, info.Kind, proves, info.Summary)
+		for _, p := range info.Params {
+			def := ""
+			if p.Default != nil {
+				def = fmt.Sprintf(" (default %v)", p.Default)
+			}
+			fmt.Fprintf(w, "%-11s   -param %s=<%s>%s — %s\n", "", p.Name, p.Type, def, p.Help)
+		}
+	}
+	fmt.Fprintln(w, "\npseudo-methods: portfolio (races backends, see -solvers/-workers), random")
 }
 
 func provedNote(p bool) string {

@@ -2,11 +2,15 @@
 //
 // The example starts the service in-process on a loopback listener (so
 // it runs standalone, without a separately launched iddserver), then
-// acts as a plain HTTP client: it submits an async solve job, follows
-// the job's server-sent-event stream while the portfolio races, prints
-// every incumbent improvement as it lands, fetches the final result,
-// and demonstrates the canonical-hash cache by resubmitting the same
-// instance with its indexes relabeled.
+// acts as a plain HTTP client: it discovers the solver roster and its
+// typed params through GET /solvers, shows the 400-with-valid-set
+// response a typo'd param earns, submits an async solve job whose
+// "params" map sizes the cp proof search, follows the job's
+// server-sent-event stream while the portfolio races, prints every
+// incumbent improvement as it lands, fetches the final result (with the
+// cp.workers telemetry echoed back), and demonstrates the
+// canonical-hash cache by resubmitting the same instance with its
+// indexes relabeled.
 package main
 
 import (
@@ -42,11 +46,52 @@ func main() {
 	// event stream shows real incumbent improvements.
 	in := randInstance()
 
-	// 1. Submit an async job: POST /jobs with the JSON envelope.
+	// 0. Discover the solver roster: GET /solvers lists every registered
+	// backend with its kind and the typed params it accepts — the same
+	// registry iddsolve -list-solvers prints.
+	resp0, err := http.Get(ts.URL + "/solvers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var catalogue struct {
+		Solvers []service.SolverInfo `json:"solvers"`
+	}
+	if err := json.NewDecoder(resp0.Body).Decode(&catalogue); err != nil {
+		log.Fatal(err)
+	}
+	resp0.Body.Close()
+	fmt.Printf("server registers %d solver backends:\n", len(catalogue.Solvers))
+	for _, s := range catalogue.Solvers {
+		fmt.Printf("  %-11s %-13s", s.Name, s.Kind)
+		for _, p := range s.Params {
+			fmt.Printf(" %s=<%s>", p.Name, p.Type)
+		}
+		fmt.Println()
+	}
+
+	// Params are validated against those specs at submission — a typo is
+	// an immediate 400 naming the valid set, not a late job failure.
+	bad, _ := json.Marshal(map[string]any{
+		"instance": in, "params": map[string]any{"cp.wrokers": 4},
+	})
+	respBad, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var badBody struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(respBad.Body).Decode(&badBody)
+	respBad.Body.Close()
+	fmt.Printf("typo'd param -> %d: %s\n", respBad.StatusCode, badBody.Error)
+
+	// 1. Submit an async job: POST /jobs with the JSON envelope. The
+	// "params" map sizes cp's work-stealing proof search to 2 workers.
 	body, _ := json.Marshal(map[string]any{
 		"instance": in,
 		"budget":   "10s",
 		"backends": []string{"cp"},
+		"params":   map[string]any{"cp.workers": 2},
 	})
 	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -107,11 +152,19 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("deployment order (objective %.2f, proved=%t): %s\n",
 		status.Result.Objective, status.Result.Proved, strings.Join(status.Result.Names, " -> "))
+	for _, b := range status.Result.Backends {
+		if b.Name == "cp" && b.Workers > 0 {
+			fmt.Printf("cp proof ran %d branch-and-bound workers (from params cp.workers)\n", b.Workers)
+		}
+	}
 
 	// 4. Same problem, different labeling: the canonical hash routes it
-	// to the solution cache — no second solve happens.
+	// to the solution cache — no second solve happens. The knobs must
+	// match too (params are part of the cache key: a cp.workers=4 run is
+	// not a valid answer for a cp.workers=2 request).
 	body, _ = json.Marshal(map[string]any{
 		"instance": reversed(in), "budget": "10s", "backends": []string{"cp"},
+		"params": map[string]any{"cp.workers": 2},
 	})
 	resp, err = http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
 	if err != nil {

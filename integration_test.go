@@ -59,6 +59,29 @@ func TestCLIIntegration(t *testing.T) {
 		t.Errorf("iddsolve -curve missing curve:\n%s", out)
 	}
 
+	// Registry surfaces: the roster listing, -param plumbing down to the
+	// cp engine (visible as workers telemetry in the JSON report), and
+	// the deprecated -cp-workers alias.
+	out = run("iddsolve", "-list-solvers")
+	for _, want := range []string{"cp.workers", "vns", "exact", "anytime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("iddsolve -list-solvers missing %q:\n%s", want, out)
+		}
+	}
+	out = run("iddsolve", "-json", "-method", "cp", "-param", "cp.workers=2", "-budget", "10s", inst)
+	if !strings.Contains(out, `"workers": 2`) {
+		t.Errorf("-param cp.workers=2 did not reach the cp engine:\n%s", out)
+	}
+	out = run("iddsolve", "-json", "-method", "cp", "-cp-workers", "2", "-budget", "10s", inst)
+	if !strings.Contains(out, `"workers": 2`) {
+		t.Errorf("deprecated -cp-workers did not reach the cp engine:\n%s", out)
+	}
+	if raw, err := exec.Command(filepath.Join(bin, "iddsolve"), "-param", "nope=1", inst).CombinedOutput(); err == nil {
+		t.Errorf("iddsolve accepted an unknown -param:\n%s", raw)
+	} else if !strings.Contains(string(raw), "cp.workers") {
+		t.Errorf("unknown -param error does not list the valid set:\n%s", raw)
+	}
+
 	// Text format round trip through the tools.
 	txt := filepath.Join(bin, "r13.txt")
 	run("iddgen", "-dataset", "tpch", "-reduce", "13", "-density", "low", "-o", txt)

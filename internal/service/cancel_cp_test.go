@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 )
 
 // TestCancelInterruptsCPProofPromptly is the regression test for the CP
@@ -16,7 +17,8 @@ import (
 // stride, so a DELETE must release the solve worker within a couple of
 // seconds, not after the 30s budget.
 func TestCancelInterruptsCPProofPromptly(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, CPWorkers: 4})
+	s, ts := newTestServer(t, Config{Workers: 1,
+		DefaultParams: backend.Params{"cp.workers": 4}})
 	rng := rand.New(rand.NewSource(3))
 	cfg := randgen.DefaultConfig()
 	cfg.Indexes = 22

@@ -16,6 +16,8 @@ import (
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/backend"
+	"github.com/evolving-olap/idd/internal/solver/cp"
 	"github.com/evolving-olap/idd/internal/solver/portfolio"
 )
 
@@ -41,10 +43,16 @@ type Config struct {
 	// histories) stay queryable; the oldest are evicted first and then
 	// answer 404 (0 = 4096). Queued/running jobs are never evicted.
 	MaxFinishedJobs int
-	// CPWorkers is the branch-and-bound worker budget handed to the cp
-	// backend of every solve (0 or 1 = single-threaded). It multiplies
-	// the goroutines a single job may run, so size Workers × CPWorkers
-	// to the machine.
+	// DefaultParams are server-wide backend params applied to every
+	// solve unless the request sets the same key itself (e.g.
+	// "cp.workers" to size proof parallelism to the machine — it
+	// multiplies the goroutines a single job may run, so size
+	// Workers × cp.workers together).
+	DefaultParams backend.Params
+	// CPWorkers is a deprecated alias for DefaultParams["cp.workers"];
+	// an explicit DefaultParams entry wins.
+	//
+	// Deprecated: set DefaultParams["cp.workers"] instead.
 	CPWorkers int
 }
 
@@ -73,6 +81,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
 	}
+	c.DefaultParams = c.DefaultParams.WithIntFallback(cp.ParamWorkers, c.CPWorkers)
 	return c
 }
 
@@ -203,9 +212,12 @@ func (j *Job) finish(state string, res *SolveResult, err error) bool {
 // run is one underlying portfolio solve, shared by all jobs whose
 // canonical hash and solve parameters coincide (single-flight).
 type run struct {
-	key      string
-	canon    *model.Instance
-	params   Params
+	key    string
+	canon  *model.Instance
+	params Params
+	// bag is the registry-validated, canonically typed form of
+	// params.Params.
+	bag      backend.Params
 	budget   time.Duration
 	priority int   // queue priority: max over attached jobs (under Manager.mu)
 	seq      int64 // FIFO tie-break within a priority
@@ -388,10 +400,12 @@ func (m *Manager) clampBudget(d Duration) time.Duration {
 	return b
 }
 
-// solveKey fingerprints everything that shapes the solve outcome.
-func solveKey(hash string, p Params, budget time.Duration) string {
-	return fmt.Sprintf("%s|b=%s|be=%v|w=%d|s=%d|sl=%d|p=%t",
-		hash, budget, p.Backends, p.Workers, p.Seed, p.StepLimit, p.pruneEnabled())
+// solveKey fingerprints everything that shapes the solve outcome. The
+// param bag enters in its canonical sorted form so key equality does
+// not depend on JSON map order.
+func solveKey(hash string, p Params, bag backend.Params, budget time.Duration) string {
+	return fmt.Sprintf("%s|b=%s|be=%v|w=%d|s=%d|sl=%d|p=%t|pp=%s",
+		hash, budget, p.Backends, p.Workers, p.Seed, p.StepLimit, p.pruneEnabled(), bag.Canon())
 }
 
 // Submit validates the instance and either completes a job from the
@@ -411,10 +425,12 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 	if err := in.Validate(); err != nil {
 		return nil, &InvalidError{Err: err}
 	}
-	for _, name := range p.Backends {
-		if !knownBackend(name) {
-			return nil, invalidf("unknown backend %q (have %v)", name, portfolio.Names())
-		}
+	if err := backend.CheckNames(p.Backends); err != nil {
+		return nil, &InvalidError{Err: err}
+	}
+	bag, err := backend.ValidateParams(p.Params)
+	if err != nil {
+		return nil, &InvalidError{Err: err}
 	}
 
 	canon, perm := codec.Canonicalize(in)
@@ -424,7 +440,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		origOf[c] = i
 	}
 	budget := m.clampBudget(p.Budget)
-	key := solveKey(hash, p, budget)
+	key := solveKey(hash, p, bag, budget)
 
 	j := &Job{
 		ID:       newJobID(),
@@ -482,7 +498,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	r := &run{
-		key: key, canon: canon, params: p, budget: budget,
+		key: key, canon: canon, params: p, bag: bag, budget: budget,
 		priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
 	}
 	m.seq++
@@ -494,15 +510,6 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 	m.cond.Signal()
 	m.mu.Unlock()
 	return j, nil
-}
-
-func knownBackend(name string) bool {
-	for _, n := range portfolio.Names() {
-		if n == name {
-			return true
-		}
-	}
-	return false
 }
 
 // noteFinished records terminal jobs and evicts the oldest beyond the
@@ -654,13 +661,22 @@ func (m *Manager) execute(r *run) {
 	// reaps a stuck backend, so give it headroom.
 	ctx, cancel := context.WithTimeout(r.ctx, r.budget+r.budget/2+2*time.Second)
 	defer cancel()
+	// Server-wide default params underlay the request's own bag; any key
+	// the request sets wins.
+	bag := r.bag
+	if len(m.cfg.DefaultParams) > 0 {
+		bag = m.cfg.DefaultParams.Clone()
+		for k, v := range r.bag {
+			bag[k] = v
+		}
+	}
 	start := time.Now()
 	res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
 		Backends:  r.params.Backends,
 		Workers:   r.params.Workers,
 		Budget:    r.budget,
 		StepLimit: r.params.StepLimit,
-		CPWorkers: m.cfg.CPWorkers,
+		Params:    bag,
 		Seed:      r.params.Seed,
 		OnProgress: func(ev portfolio.ProgressEvent) {
 			r.emit(progressToEvent(ev), ev.Order)
@@ -691,7 +707,8 @@ func (m *Manager) execute(r *run) {
 	for _, b := range res.Backends {
 		bs := BackendSummary{
 			Name: b.Name, Proved: b.Proved, Improvements: b.Improvements,
-			Iterations: b.Iterations, Wall: Duration(b.Wall), Skipped: b.Skipped,
+			Iterations: b.Iterations, Workers: b.Workers,
+			Wall: Duration(b.Wall), Skipped: b.Skipped,
 		}
 		if !math.IsInf(b.Objective, 1) {
 			bs.Objective = fptr(b.Objective)

@@ -14,6 +14,7 @@ import (
 
 	"github.com/evolving-olap/idd/internal/codec"
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 )
 
 // Server wires the job manager into HTTP handlers.
@@ -32,6 +33,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -91,7 +93,7 @@ func writeErr(w http.ResponseWriter, err error) {
 // {"instance": ..., "budget": ...}, a bare JSON instance, and the
 // compact text matrix format. For the latter two the solve knobs come
 // from the URL query (budget, backends, workers, seed, step_limit,
-// priority, prune).
+// priority, prune, and repeated param=key=value entries).
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*model.Instance, Params, error) {
 	var p Params
 	limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -193,6 +195,16 @@ func queryParams(r *http.Request) (Params, error) {
 			return p, invalidf("bad prune %q", v)
 		}
 		p.Prune = &b
+	}
+	// Repeated ?param=key=value entries mirror the JSON "params" map
+	// (full validation happens in Submit; parsing here only needs the
+	// spec's type to build the typed value).
+	if kvs := q["param"]; len(kvs) > 0 {
+		bag, err := backend.ParseParams(kvs)
+		if err != nil {
+			return p, &InvalidError{Err: err}
+		}
+		p.Params = bag
 	}
 	return p, nil
 }
@@ -329,6 +341,64 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// SolverInfo is one entry of GET /solvers: a registered backend's
+// self-description, straight from the registry.
+type SolverInfo struct {
+	Name string `json:"name"`
+	// Kind is "constructive", "exact" or "anytime".
+	Kind string `json:"kind"`
+	// Proves marks backends whose results can carry a proof flag; only
+	// exact kinds yield true optimality certificates.
+	Proves bool `json:"proves,omitempty"`
+	// FinisherRank orders the anytime backends for the portfolio's
+	// exploitation tail (higher wins; 0 = never the finisher).
+	FinisherRank int    `json:"finisher_rank,omitempty"`
+	Summary      string `json:"summary,omitempty"`
+	// Params are the typed knobs accepted in a request's "params" map.
+	Params []SolverParam `json:"params,omitempty"`
+}
+
+// SolverParam is one declared backend knob.
+type SolverParam struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Default any      `json:"default,omitempty"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	Help    string   `json:"help,omitempty"`
+}
+
+// Solvers snapshots the registry in its listing order (also used by
+// embedders that want the catalogue without HTTP).
+func Solvers() []SolverInfo {
+	var out []SolverInfo
+	for _, b := range backend.All() {
+		info := b.Info()
+		si := SolverInfo{
+			Name:         info.Name,
+			Kind:         info.Kind.String(),
+			Proves:       info.Proves,
+			FinisherRank: info.Finisher,
+			Summary:      info.Summary,
+		}
+		for _, p := range info.Params {
+			si.Params = append(si.Params, SolverParam{
+				Name: p.Name, Type: p.Type.String(), Default: p.Default,
+				Min: p.Min, Max: p.Max, Help: p.Help,
+			})
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// handleSolvers lists every registered backend with its declared param
+// specs, so clients can discover valid "backends" and "params" values
+// instead of learning them from 400 responses.
+func (s *Server) handleSolvers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"solvers": Solvers()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@
 //	GET    /jobs/{id}        job status + result when finished
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	GET    /jobs/{id}/events server-sent events: incumbent progress
+//	GET    /solvers          registered backends + declared param specs
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          queue/cache/backend counters (JSON)
 package service
@@ -75,6 +76,12 @@ type Params struct {
 	// StepLimit bounds per-backend search steps (0 = none); useful for
 	// reproducible tests.
 	StepLimit int64 `json:"step_limit,omitempty"`
+	// Params carries backend-declared typed knobs by fully qualified
+	// name (e.g. {"cp.workers": 4}). Keys and values are validated
+	// against the registry's declared specs at submission; unknown or
+	// ill-typed entries are rejected with a 400 naming the valid set
+	// (see GET /solvers for the specs).
+	Params map[string]any `json:"params,omitempty"`
 	// Priority orders the job queue: higher runs earlier (FIFO within a
 	// priority). Not part of the dedup key.
 	Priority int `json:"priority,omitempty"`
@@ -102,9 +109,13 @@ type BackendSummary struct {
 	Proved       bool     `json:"proved,omitempty"`
 	Improvements int      `json:"improvements,omitempty"`
 	Iterations   int64    `json:"iterations,omitempty"`
-	Wall         Duration `json:"wall,omitempty"`
-	Error        string   `json:"error,omitempty"`
-	Skipped      bool     `json:"skipped,omitempty"`
+	// Workers is the internal parallelism the backend reported running
+	// (cp's branch-and-bound goroutines); the observable proof that a
+	// "cp.workers" param reached the engine.
+	Workers int      `json:"workers,omitempty"`
+	Wall    Duration `json:"wall,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Skipped bool     `json:"skipped,omitempty"`
 }
 
 // SolveResult is the outcome of one solve, in the coordinate space of

@@ -1,0 +1,90 @@
+// The registry integrity audit: every backend linked into this test
+// binary (all built-ins are blank-imported below, exactly the set a
+// real binary gets through the portfolio) must carry a complete,
+// well-formed self-description. CI runs this as its own named step so a
+// sloppy registration fails the build with an attributable message, not
+// a confusing downstream test.
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolving-olap/idd/internal/solver/backend"
+
+	_ "github.com/evolving-olap/idd/internal/solver/astar"
+	_ "github.com/evolving-olap/idd/internal/solver/bruteforce"
+	_ "github.com/evolving-olap/idd/internal/solver/cp"
+	_ "github.com/evolving-olap/idd/internal/solver/dp"
+	_ "github.com/evolving-olap/idd/internal/solver/greedy"
+	_ "github.com/evolving-olap/idd/internal/solver/local"
+	_ "github.com/evolving-olap/idd/internal/solver/mip"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	all := backend.All()
+	if len(all) == 0 {
+		t.Fatal("registry is empty")
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		info := b.Info()
+		name := info.Name
+		if name == "" {
+			t.Fatal("backend with empty name in registry")
+		}
+		if seen[name] {
+			t.Errorf("%s: duplicate name survived registration", name)
+		}
+		seen[name] = true
+		if info.Summary == "" {
+			t.Errorf("%s: empty Summary", name)
+		}
+		if k := info.Kind.String(); k == "unknown" {
+			t.Errorf("%s: invalid Kind %d", name, info.Kind)
+		}
+		if info.Kind == backend.KindExact && !info.Proves {
+			t.Errorf("%s: exact backends must declare Proves", name)
+		}
+		if info.Finisher > 0 && info.Kind != backend.KindAnytime {
+			t.Errorf("%s: only anytime backends can be finishers (kind %s)", name, info.Kind)
+		}
+		for _, p := range info.Params {
+			if !strings.HasPrefix(p.Name, name+".") {
+				t.Errorf("%s: param %q not namespaced under the backend", name, p.Name)
+			}
+			if p.Type.String() == "unknown" {
+				t.Errorf("%s: param %q has invalid type %d", name, p.Name, p.Type)
+			}
+			if p.Help == "" {
+				t.Errorf("%s: param %q has no help text", name, p.Name)
+			}
+			if p.Default == nil {
+				t.Errorf("%s: param %q declares no default", name, p.Name)
+			}
+			spec, ok := backend.SpecFor(p.Name)
+			if !ok || spec.Type != p.Type {
+				t.Errorf("%s: param %q not resolvable through SpecFor", name, p.Name)
+			}
+			// A default that fails its own validation would poison every
+			// request that omits the key.
+			if p.Default != nil {
+				if _, err := backend.ValidateParams(map[string]any{p.Name: p.Default}); err != nil {
+					t.Errorf("%s: default for %q fails its own spec: %v", name, p.Name, err)
+				}
+			}
+		}
+		// Info must be stable: derivations call it repeatedly.
+		again := b.Info()
+		if again.Name != info.Name || again.Kind != info.Kind || again.Rank != info.Rank ||
+			len(again.Params) != len(info.Params) {
+			t.Errorf("%s: Info() is not stable across calls", name)
+		}
+	}
+	for _, want := range []string{"greedy", "dp", "bruteforce", "astar", "cp", "mip",
+		"tabu-b", "tabu-f", "lns", "vns", "anneal"} {
+		if !seen[want] {
+			t.Errorf("built-in backend %q is not registered", want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package greedy
+
+import (
+	"context"
+
+	"github.com/evolving-olap/idd/internal/solver/backend"
+)
+
+func init() { backend.Register(asBackend{}) }
+
+// asBackend adapts the greedy heuristic to the registry contract.
+type asBackend struct{}
+
+func (asBackend) Info() backend.Info {
+	return backend.Info{
+		Name:    "greedy",
+		Kind:    backend.KindConstructive,
+		Rank:    10,
+		Summary: "density-ordered constructive heuristic (§4.3); the portfolio's seed",
+	}
+}
+
+func (asBackend) Solve(_ context.Context, req backend.Request) backend.Outcome {
+	order := Solve(req.Compiled, req.Constraints)
+	return backend.Outcome{Order: order, Objective: req.Compiled.Objective(order)}
+}

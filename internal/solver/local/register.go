@@ -1,0 +1,70 @@
+package local
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/solver/backend"
+)
+
+// The five local searches register as anytime backends. Finisher ranks
+// encode the paper's stability ordering (§7.3): VNS is the most
+// scalable and stable searcher, so it wins the portfolio's exploitation
+// tail whenever it is enabled; LNS, the tabu variants and annealing
+// follow in that order.
+func init() {
+	for _, s := range []asBackend{
+		{name: "tabu-b", rank: 70, finisher: 20, run: TabuBSwap,
+			summary: "tabu search over the backward-swap neighborhood (TS-BSwap, §7.1)"},
+		{name: "tabu-f", rank: 71, finisher: 30, run: TabuFSwap,
+			summary: "tabu search over the forward-swap neighborhood (TS-FSwap, §7.1)"},
+		{name: "lns", rank: 72, finisher: 40, run: LNS,
+			summary: "large neighborhood search relaxing random index subsets through CP (§7.2)"},
+		{name: "vns", rank: 73, finisher: 50, run: VNS,
+			summary: "adaptive variable neighborhood search (§7.3); the paper's most stable searcher"},
+		{name: "anneal", rank: 74, finisher: 10, run: Anneal,
+			summary: "simulated annealing over swap/insert moves with geometric cooling"},
+	} {
+		backend.Register(s)
+	}
+}
+
+// asBackend adapts one local search to the registry contract.
+type asBackend struct {
+	name     string
+	rank     int
+	finisher int
+	summary  string
+	run      func(*model.Compiled, *constraint.Set, Options) Result
+}
+
+func (s asBackend) Info() backend.Info {
+	return backend.Info{
+		Name:     s.name,
+		Kind:     backend.KindAnytime,
+		Rank:     s.rank,
+		Finisher: s.finisher,
+		Summary:  s.summary,
+	}
+}
+
+func (s asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome {
+	if len(req.Initial) == 0 {
+		return backend.Outcome{Objective: math.Inf(1),
+			Err: fmt.Errorf("local search %s requires Request.Initial (a feasible seed order)", s.name)}
+	}
+	res := s.run(req.Compiled, req.Constraints, Options{
+		Initial:   req.Initial,
+		Budget:    req.Budget,
+		MaxSteps:  req.StepLimit,
+		Rng:       rand.New(rand.NewSource(req.Seed)),
+		Context:   ctx,
+		Incumbent: req.Incumbent,
+		OnImprove: req.Publish,
+	})
+	return backend.Outcome{Order: res.Order, Objective: res.Objective, Iterations: res.Steps}
+}

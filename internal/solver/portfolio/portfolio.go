@@ -10,13 +10,20 @@
 // cancels everything through a context as soon as some backend proves the
 // incumbent optimal, and reports per-backend telemetry alongside the
 // winning schedule.
+//
+// The backends themselves come from the self-describing registry in
+// internal/solver/backend: the orchestrator derives the default
+// selection from each backend's declared applicability, the finisher
+// from the declared anytime ranking, and hands every backend the same
+// backend.Request envelope (instance, budget slice, seed, typed params,
+// publish/consume hooks). Registering a new backend — even from a test
+// file — makes it available here with no portfolio edits.
 package portfolio
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,14 +31,20 @@ import (
 
 	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
-	"github.com/evolving-olap/idd/internal/sched"
-	"github.com/evolving-olap/idd/internal/solver/astar"
-	"github.com/evolving-olap/idd/internal/solver/bruteforce"
-	"github.com/evolving-olap/idd/internal/solver/cp"
-	"github.com/evolving-olap/idd/internal/solver/dp"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 	"github.com/evolving-olap/idd/internal/solver/greedy"
-	"github.com/evolving-olap/idd/internal/solver/local"
-	"github.com/evolving-olap/idd/internal/solver/mip"
+
+	// Every built-in solver registers itself into the backend registry
+	// from init(); importing them here is what puts them on the roster
+	// for any program that links the portfolio. cp is additionally named
+	// for its ParamWorkers constant (the deprecated-alias merge).
+	"github.com/evolving-olap/idd/internal/solver/cp"
+
+	_ "github.com/evolving-olap/idd/internal/solver/astar"
+	_ "github.com/evolving-olap/idd/internal/solver/bruteforce"
+	_ "github.com/evolving-olap/idd/internal/solver/dp"
+	_ "github.com/evolving-olap/idd/internal/solver/local"
+	_ "github.com/evolving-olap/idd/internal/solver/mip"
 )
 
 const eps = 1e-12
@@ -140,12 +153,16 @@ type Options struct {
 	// search steps (local-search steps / CP, A*, MIP nodes), making runs
 	// reproducible for tests regardless of wall-clock speed.
 	StepLimit int64
-	// CPWorkers is the worker budget handed to the cp backend: the
-	// number of branch-and-bound goroutines its work-stealing proof
-	// search runs (0 or 1 = single-threaded). These are goroutines
-	// inside one backend slot, on top of the portfolio's own Workers
-	// concurrency; the cp backend both publishes its incumbents to the
-	// shared store and prunes against it mid-proof either way.
+	// Params is the typed registry-declared parameter bag handed to
+	// every backend (e.g. "cp.workers"). Build it with
+	// backend.ValidateParams / backend.ParseParams; backends read only
+	// their own declared keys.
+	Params backend.Params
+	// CPWorkers is a deprecated alias for Params["cp.workers"]: the
+	// branch-and-bound worker budget of the cp backend's work-stealing
+	// proof search. An explicit Params entry wins.
+	//
+	// Deprecated: set Params["cp.workers"] instead.
 	CPWorkers int
 	// Seed derives each randomized backend's private RNG.
 	Seed int64
@@ -231,6 +248,10 @@ type BackendResult struct {
 	// Iterations counts backend-specific search effort: local-search
 	// steps, CP/MIP nodes, A* expansions, brute-force permutations.
 	Iterations int64
+	// Workers reports internal parallelism the backend declared it ran
+	// (cp's branch-and-bound goroutines; 0 = not reported). This is the
+	// telemetry that proves a "cp.workers" param reached the engine.
+	Workers int
 	// Wall is the backend's own wall-clock time.
 	Wall time.Duration
 	// Err reports a backend that refused or failed the instance (e.g.
@@ -258,91 +279,16 @@ type Result struct {
 	Backends []BackendResult
 }
 
-// env is what a backend run receives from the orchestrator.
-type env struct {
-	c         *model.Compiled
-	cs        *constraint.Set
-	sh        *Store
-	slice     time.Duration // this backend's share of the remaining budget
-	steps     int64         // Options.StepLimit (0 = none)
-	cpWorkers int           // Options.CPWorkers (cp backend only)
-	seed      int64
-	initial   []int
-	publish   func(order []int, obj float64)
-}
-
-// outcome is what a backend run reports back.
-type outcome struct {
-	order  []int
-	obj    float64
-	proved bool // exact proof only
-	iters  int64
-	err    error
-}
-
-type runFunc func(ctx context.Context, e *env) outcome
-
-var localSearches = map[string]func(*model.Compiled, *constraint.Set, local.Options) local.Result{
-	"tabu-b": local.TabuBSwap,
-	"tabu-f": local.TabuFSwap,
-	"lns":    local.LNS,
-	"vns":    local.VNS,
-	"anneal": local.Anneal,
-}
-
-var registry = map[string]runFunc{
-	"greedy":     runGreedy,
-	"dp":         runDP,
-	"bruteforce": runBruteforce,
-	"astar":      runAstar,
-	"cp":         runCP,
-	"mip":        runMIP,
-	"tabu-b":     runLocal(localSearches["tabu-b"]),
-	"tabu-f":     runLocal(localSearches["tabu-f"]),
-	"lns":        runLocal(localSearches["lns"]),
-	"vns":        runLocal(localSearches["vns"]),
-	"anneal":     runLocal(localSearches["anneal"]),
-}
-
-// finisherFor picks the anytime backend that runs the exploitation tail:
-// the paper's most scalable and stable searcher among those the caller
-// enabled ("" when the set has no anytime backend).
-func finisherFor(names []string) string {
-	for _, pref := range []string{"vns", "lns", "tabu-f", "tabu-b", "anneal"} {
-		for _, n := range names {
-			if n == pref {
-				return pref
-			}
-		}
-	}
-	return ""
-}
-
 // Names lists every registered backend, in the order Default considers
-// them.
-func Names() []string {
-	return []string{"greedy", "dp", "bruteforce", "astar", "cp", "mip",
-		"tabu-b", "tabu-f", "lns", "vns", "anneal"}
-}
+// them (the registry's rank order).
+func Names() []string { return backend.Names() }
 
-// Default picks the backends applicable to an instance: the cheap
-// constructive solvers and every anytime search always run; the
-// enumerative exact solvers and the MIP join only when the instance is
-// small enough for them to contribute within a portfolio slice.
-func Default(c *model.Compiled) []string {
-	names := []string{"greedy", "dp"}
-	if c.N <= 10 {
-		names = append(names, "bruteforce")
-	}
-	if c.N <= astar.MaxN {
-		names = append(names, "astar")
-	}
-	names = append(names, "cp")
-	if v, r := mip.EstimateSize(c, mip.Options{}); float64(v)*float64(r) <= 2e7 {
-		names = append(names, "mip")
-	}
-	return append(names, "tabu-b", "tabu-f", "lns", "vns", "anneal")
-}
+// Default picks the backends applicable to an instance, derived from
+// each registered backend's declared applicability predicate: the cheap
+// constructive solvers and every anytime search always volunteer; the
+// enumerative exact solvers and the MIP bow out when the instance is
+// too large for them to contribute within a portfolio slice.
+func Default(c *model.Compiled) []string { return backend.Default(c) }
 
 // Solve races the configured backends and returns the best schedule found
 // plus per-backend telemetry. cs may be nil. The error is non-nil only
@@ -355,11 +301,13 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 	if len(names) == 0 {
 		names = Default(c)
 	}
-	for _, name := range names {
-		if _, ok := registry[name]; !ok {
-			return Result{}, fmt.Errorf("portfolio: unknown backend %q", name)
-		}
+	if err := backend.CheckNames(names); err != nil {
+		return Result{}, fmt.Errorf("portfolio: %w", err)
 	}
+	// Deprecated Options.CPWorkers alias; any explicit typed param —
+	// including an explicit 0 forcing the serial engine — wins, and the
+	// alias value is clamped into the declared spec bounds.
+	params := opt.Params.WithIntFallback(cp.ParamWorkers, opt.CPWorkers)
 	budget := opt.Budget
 	if budget <= 0 {
 		budget = 10 * time.Second
@@ -414,7 +362,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 	// incumbent with everything that is left (see the finisher pass
 	// below). With enough workers the race itself gets the whole budget.
 	exploreDeadline := overall
-	finisher := finisherFor(names)
+	finisher := backend.Finisher(names)
 	if workers < len(names) && finisher != "" {
 		// The fewer the workers, the more the race is sliced and the more
 		// budget the finisher needs to compete with a standalone
@@ -441,6 +389,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 			defer wg.Done()
 			for j := range jobs {
 				name := names[j]
+				b, _ := backend.Lookup(name)
+				exact := b.Info().Kind == backend.KindExact
 				left := queued.Add(-1) + 1 // backends not yet started, incl. this one
 				remaining := time.Until(exploreDeadline)
 				br := BackendResult{Name: name, Objective: math.Inf(1), BestPublished: math.Inf(1)}
@@ -462,8 +412,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 					slice = time.Millisecond
 				}
 				bctx, bcancel := context.WithTimeout(parent, slice)
-				// The parallel cp backend invokes its solution callback
-				// from its internal worker goroutines (cp happens to
+				// A backend may invoke its publish callback from internal
+				// worker goroutines (the parallel cp does; it happens to
 				// serialize them under its incumbent lock, but that is
 				// cp's implementation detail); the orchestrator guards
 				// br's contribution counters with its own mutex instead
@@ -471,37 +421,49 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				// join their goroutines before returning, so br is
 				// settled when it is read below.
 				var pubMu sync.Mutex
-				e := &env{
-					c: c, cs: cs, sh: sh, slice: slice, steps: opt.StepLimit,
-					cpWorkers: opt.CPWorkers,
-					seed:      opt.Seed + int64(j)*0x9E3779B9, initial: initial,
-					publish: func(order []int, obj float64) {
-						if !sh.Offer(name, order, obj) {
-							return
-						}
-						pubMu.Lock()
-						br.BestPublished = obj
-						br.Improvements++
-						pubMu.Unlock()
-						improved(name, order, obj)
-					},
+				publish := func(order []int, obj float64) {
+					if !sh.Offer(name, order, obj) {
+						return
+					}
+					pubMu.Lock()
+					br.BestPublished = obj
+					br.Improvements++
+					pubMu.Unlock()
+					improved(name, order, obj)
+				}
+				req := backend.Request{
+					Compiled:    c,
+					Constraints: cs,
+					Budget:      slice,
+					StepLimit:   opt.StepLimit,
+					Seed:        opt.Seed + int64(j)*0x9E3779B9,
+					Initial:     initial,
+					Params:      params,
+					Publish:     publish,
+					Incumbent:   sh.BetterThan,
+					Bound:       sh.Objective,
 				}
 				start := time.Now()
-				out := registry[name](bctx, e)
+				out := b.Solve(bctx, req)
 				bcancel()
 				br.Wall = time.Since(start)
-				br.Objective = out.obj
-				br.Proved = out.proved
-				br.Iterations = out.iters
-				br.Err = out.err
-				if out.order != nil {
-					e.publish(out.order, out.obj)
+				br.Objective = out.Objective
+				// Only an exact backend's exhausted search is an
+				// optimality certificate; mip's discretized proof (and
+				// whatever a misbehaving backend might claim) is
+				// telemetry at best.
+				br.Proved = out.Proved && exact
+				br.Iterations = out.Iterations
+				br.Workers = out.Workers
+				br.Err = out.Err
+				if out.Order != nil {
+					publish(out.Order, out.Objective)
 				}
 				results[j] = br
 				emit(ProgressEvent{Kind: ProgressBackendDone, Backend: name,
 					Objective: br.Objective, Err: br.Err,
 					Iterations: br.Iterations, Wall: br.Wall})
-				if out.proved && proved.CompareAndSwap(false, true) {
+				if br.Proved && proved.CompareAndSwap(false, true) {
 					// The incumbent is optimal; stop the other backends.
 					// The CAS elects a single prover so concurrent exact
 					// backends cannot double-emit the proof event.
@@ -524,6 +486,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 	// the portfolio result is the minimum of both.
 	if finisher != "" && !proved.Load() && parent.Err() == nil {
 		if rem := time.Until(overall); rem > budget/20 {
+			fb, _ := backend.Lookup(finisher)
 			fname := finisher + "+"
 			fbr := BackendResult{Name: fname, BestPublished: math.Inf(1)}
 			publish := func(o []int, obj float64) {
@@ -535,20 +498,27 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				improved(fname, o, obj)
 			}
 			fstart := time.Now()
-			// The RNG stream is derived from Seed alone (not a per-backend
-			// mix) so the finisher walks the same trajectory a standalone
-			// run of the same searcher with the same seed would.
-			fres := localSearches[finisher](c, cs, local.Options{
-				Initial:   initial,
-				Budget:    rem,
-				MaxSteps:  opt.StepLimit,
-				Rng:       rand.New(rand.NewSource(opt.Seed)),
-				Context:   parent,
-				OnImprove: publish,
+			// Seed is Options.Seed alone (not a per-backend mix) so the
+			// finisher walks the same trajectory a standalone run of the
+			// same searcher with the same seed would. No Incumbent hook:
+			// the finisher restarts from the initial order on purpose
+			// (see above) and must not re-adopt the race's incumbent.
+			fout := fb.Solve(parent, backend.Request{
+				Compiled:    c,
+				Constraints: cs,
+				Budget:      rem,
+				StepLimit:   opt.StepLimit,
+				Seed:        opt.Seed,
+				Initial:     initial,
+				Params:      params,
+				Publish:     publish,
 			})
-			publish(fres.Order, fres.Objective)
-			fbr.Objective = fres.Objective
-			fbr.Iterations = fres.Steps
+			if fout.Order != nil {
+				publish(fout.Order, fout.Objective)
+			}
+			fbr.Objective = fout.Objective
+			fbr.Iterations = fout.Iterations
+			fbr.Workers = fout.Workers
 			fbr.Wall = time.Since(fstart)
 			results = append(results, fbr)
 			emit(ProgressEvent{Kind: ProgressBackendDone, Backend: fname,
@@ -564,89 +534,4 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 		Proved:    proved.Load(),
 		Backends:  results,
 	}, nil
-}
-
-func runGreedy(_ context.Context, e *env) outcome {
-	order := greedy.Solve(e.c, e.cs)
-	return outcome{order: order, obj: e.c.Objective(order)}
-}
-
-func runDP(_ context.Context, e *env) outcome {
-	// The DP baseline ignores precedence constraints by construction;
-	// repair its order before offering it.
-	order := sched.Repair(dp.Solve(e.c), e.cs)
-	return outcome{order: order, obj: e.c.Objective(order)}
-}
-
-func runBruteforce(ctx context.Context, e *env) outcome {
-	res, err := bruteforce.SolveContext(ctx, e.c, e.cs, true)
-	if err != nil {
-		return outcome{obj: math.Inf(1), err: err}
-	}
-	return outcome{order: res.Order, obj: res.Objective, proved: !res.Aborted, iters: res.Visited}
-}
-
-func runAstar(ctx context.Context, e *env) outcome {
-	res, err := astar.Solve(e.c, e.cs, astar.Options{
-		NodeLimit:     e.steps,
-		Context:       ctx,
-		ExternalBound: e.sh.Objective,
-		OnSolution:    e.publish,
-	})
-	if err != nil {
-		return outcome{obj: math.Inf(1), err: err}
-	}
-	return outcome{order: res.Order, obj: res.Objective, proved: res.Proved, iters: res.Expanded}
-}
-
-func runCP(ctx context.Context, e *env) outcome {
-	// No Deadline: the orchestrator's per-backend context already carries
-	// the slice timeout, and cp polls it at the same cadence. With a
-	// CPWorkers budget the proof search runs work-stealing parallel
-	// branch-and-bound, publishing incumbents to and pruning against the
-	// shared store from every worker.
-	res := cp.Solve(e.c, e.cs, cp.Options{
-		NodeLimit:     e.steps,
-		Context:       ctx,
-		Incumbent:     e.initial,
-		ExternalBound: e.sh.Objective,
-		OnSolution:    e.publish,
-		Workers:       e.cpWorkers,
-		Seed:          e.seed,
-	})
-	return outcome{order: res.Order, obj: res.Objective, proved: res.Proved, iters: res.Nodes}
-}
-
-func runMIP(ctx context.Context, e *env) outcome {
-	mopt := mip.Options{
-		Deadline:    time.Now().Add(e.slice),
-		Context:     ctx,
-		Incumbent:   e.sh.BetterThan,
-		OnIncumbent: e.publish,
-	}
-	if e.steps > 0 {
-		mopt.NodeLimit = int(e.steps)
-	}
-	res, err := mip.Solve(e.c, e.cs, mopt)
-	if err != nil {
-		return outcome{obj: math.Inf(1), err: err, iters: int64(res.Nodes)}
-	}
-	// res.Proved is w.r.t. the discretized model only — never an exact
-	// optimality proof, so it must not stop the portfolio.
-	return outcome{order: res.Order, obj: res.Objective, iters: int64(res.Nodes)}
-}
-
-func runLocal(search func(*model.Compiled, *constraint.Set, local.Options) local.Result) runFunc {
-	return func(ctx context.Context, e *env) outcome {
-		res := search(e.c, e.cs, local.Options{
-			Initial:   e.initial,
-			Budget:    e.slice,
-			MaxSteps:  e.steps,
-			Rng:       rand.New(rand.NewSource(e.seed)),
-			Context:   ctx,
-			Incumbent: e.sh.BetterThan,
-			OnImprove: e.publish,
-		})
-		return outcome{order: res.Order, obj: res.Objective, iters: res.Steps}
-	}
 }

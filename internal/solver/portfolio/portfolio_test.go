@@ -13,6 +13,7 @@ import (
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/randgen"
 	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 	"github.com/evolving-olap/idd/internal/solver/greedy"
 	"github.com/evolving-olap/idd/internal/solver/solvertest"
 )
@@ -136,12 +137,33 @@ func TestDefaultBackendSelection(t *testing.T) {
 
 func TestNamesCoverRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != len(registry) {
-		t.Fatalf("Names() lists %d backends, registry has %d", len(names), len(registry))
+	if len(names) < 11 {
+		t.Fatalf("Names() lists only %d backends: %v", len(names), names)
 	}
 	for _, n := range names {
-		if _, ok := registry[n]; !ok {
+		b, ok := backend.Lookup(n)
+		if !ok {
 			t.Errorf("Names() lists unregistered backend %q", n)
+			continue
+		}
+		if b.Info().Name != n {
+			t.Errorf("backend %q self-describes as %q", n, b.Info().Name)
+		}
+	}
+	// The built-in roster must be present in registry rank order.
+	want := []string{"greedy", "dp", "bruteforce", "astar", "cp", "mip",
+		"tabu-b", "tabu-f", "lns", "vns", "anneal"}
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	for i := 1; i < len(want); i++ {
+		a, b := want[i-1], want[i]
+		if _, ok := pos[a]; !ok {
+			t.Fatalf("Names() missing built-in %q: %v", a, names)
+		}
+		if pos[a] >= pos[b] {
+			t.Errorf("Names() orders %q after %q: %v", a, b, names)
 		}
 	}
 }
@@ -404,7 +426,34 @@ func assertFeasible(t *testing.T, n int, cs *constraint.Set, order []int) {
 	solvertest.RequireFeasible(t, n, cs, order)
 }
 
-// TestSolveCPWorkerBudget: with a CPWorkers budget the cp backend runs
+// TestSolveParamsReachBackend: a "cp.workers" entry in the typed params
+// bag — and the deprecated CPWorkers alias — must reach the cp engine,
+// observable through the Workers telemetry it reports back. An explicit
+// param outranks the alias.
+func TestSolveParamsReachBackend(t *testing.T) {
+	cse := solvertest.Cases(t)[1]
+	for name, opt := range map[string]Options{
+		"params":            {Params: backend.Params{"cp.workers": 2}},
+		"deprecated-alias":  {CPWorkers: 2},
+		"param-beats-alias": {CPWorkers: 7, Params: backend.Params{"cp.workers": 2}},
+	} {
+		opt.Backends = []string{"cp"}
+		opt.Budget = 20 * time.Second
+		res, err := Solve(context.Background(), cse.C, cse.CS, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := res.Backends[0].Workers; got != 2 {
+			t.Errorf("%s: cp ran %d workers, want 2", name, got)
+		}
+		if !res.Proved {
+			t.Errorf("%s: parallel cp did not prove optimality", name)
+		}
+		solvertest.RequireOptimal(t, cse, res.Order)
+	}
+}
+
+// TestSolveCPWorkerBudget: with a cp.workers budget the cp backend runs
 // its work-stealing proof search, still proves the conformance optima,
 // and its incumbent publications flow through the shared store without
 // corrupting the per-backend telemetry (the publish callback is invoked
@@ -412,10 +461,10 @@ func assertFeasible(t *testing.T, n int, cs *constraint.Set, order []int) {
 func TestSolveCPWorkerBudget(t *testing.T) {
 	for _, cse := range solvertest.Cases(t) {
 		res, err := Solve(context.Background(), cse.C, cse.CS, Options{
-			Backends:  []string{"cp"},
-			Budget:    20 * time.Second,
-			CPWorkers: 4,
-			Seed:      3,
+			Backends: []string{"cp"},
+			Budget:   20 * time.Second,
+			Params:   backend.Params{"cp.workers": 4},
+			Seed:     3,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -22,13 +22,13 @@ import (
 // -cpworkers adds one more worker count to the sweep (CI uses it to run
 // the corpus with more CP workers than GOMAXPROCS, forcing steals and
 // preemption interleavings the default sweep might not hit).
-var extraCPWorkers = flag.Int("cpworkers", 0,
+var extraWorkers = flag.Int("cpworkers", 0,
 	"additional CP worker count to sweep in the corpus tests (0 = none)")
 
 func cpWorkerCounts() []int {
 	counts := []int{1, 2, 8}
-	if *extraCPWorkers > 1 {
-		counts = append(counts, *extraCPWorkers)
+	if *extraWorkers > 1 {
+		counts = append(counts, *extraWorkers)
 	}
 	return counts
 }

@@ -12,11 +12,14 @@ package solvertest
 
 import (
 	"testing"
+	"time"
 
 	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/backend"
 	"github.com/evolving-olap/idd/internal/solver/bruteforce"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
 )
 
 // Case is one conformance instance with its brute-force-verified optimum.
@@ -70,6 +73,30 @@ func Instances() []*model.Instance {
 		precedenceDiamond(),
 		weightedInteractions(),
 		kitchenSink(),
+	}
+}
+
+// ConformanceRequest builds the standard backend.Request the registry
+// sweep hands every backend for one case: a greedy seed order, a static
+// incumbent hook serving that seed (what anytime backends poll), a
+// deterministic RNG seed, and the given effort bounds. Backend authors
+// can reuse it to run their own package against the corpus.
+func ConformanceRequest(cse *Case, seed, stepLimit int64, budget time.Duration) backend.Request {
+	initial := greedy.Solve(cse.C, cse.CS)
+	iobj := cse.C.Objective(initial)
+	return backend.Request{
+		Compiled:    cse.C,
+		Constraints: cse.CS,
+		Budget:      budget,
+		StepLimit:   stepLimit,
+		Seed:        seed,
+		Initial:     initial,
+		Incumbent: func(than float64) ([]int, float64) {
+			if iobj < than-1e-12 {
+				return append([]int(nil), initial...), iobj
+			}
+			return nil, 0
+		},
 	}
 }
 

@@ -1,0 +1,152 @@
+// The registry's acceptance proof: a complete solver backend in ONE
+// test file, with zero edits anywhere else. Registering it below makes
+// it appear, automatically, in
+//
+//   - the portfolio's Default selection and its race telemetry,
+//   - the registry conformance sweep over the corpus
+//     (registry_conformance_test.go runs in this same test binary),
+//   - param validation (its declared knob becomes a valid -param /
+//     "params" key), and
+//   - the service's GET /solvers catalogue.
+//
+// The CLI's -list-solvers prints the same backend.All() listing that is
+// asserted against here; a backend compiled into the binary shows up
+// there identically.
+package solvertest_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/service"
+	"github.com/evolving-olap/idd/internal/solver/backend"
+	"github.com/evolving-olap/idd/internal/solver/portfolio"
+	"github.com/evolving-olap/idd/internal/solver/solvertest"
+)
+
+func init() { backend.Register(toyBackend{}) }
+
+// toyBackend deploys in reverse-greedy order, precedence-repaired: a
+// deliberately mediocre but always-feasible constructive heuristic.
+type toyBackend struct{}
+
+func (toyBackend) Info() backend.Info {
+	f := func(v float64) *float64 { return &v }
+	return backend.Info{
+		Name:    "toy-reverse",
+		Kind:    backend.KindConstructive,
+		Rank:    95,
+		Summary: "test-only backend: reversed seed order, precedence-repaired",
+		Params: []backend.ParamSpec{
+			{Name: "toy-reverse.rotate", Type: backend.ParamInt, Default: 0,
+				Min: f(0), Max: f(64), Help: "rotate the reversed order by this many positions"},
+		},
+	}
+}
+
+func (toyBackend) Solve(_ context.Context, req backend.Request) backend.Outcome {
+	n := req.Compiled.N
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if len(req.Initial) == n {
+		copy(order, req.Initial)
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	if rot := req.Params.Int("toy-reverse.rotate", 0) % n; rot > 0 {
+		order = append(order[rot:], order[:rot]...)
+	}
+	order = sched.Repair(order, req.Constraints)
+	return backend.Outcome{Order: order, Objective: req.Compiled.Objective(order)}
+}
+
+// TestToyBackendVisibleEverywhere drives the single-file backend
+// through every registry-derived surface.
+func TestToyBackendVisibleEverywhere(t *testing.T) {
+	cse := solvertest.Cases(t)[1] // plain-five: n=5, no precedences
+
+	// Default selection: the toy declares no applicability predicate, so
+	// the portfolio volunteers it for every instance.
+	inDefault := false
+	for _, name := range portfolio.Default(cse.C) {
+		inDefault = inDefault || name == "toy-reverse"
+	}
+	if !inDefault {
+		t.Fatalf("toy-reverse missing from portfolio.Default: %v", portfolio.Default(cse.C))
+	}
+
+	// The portfolio races it like any built-in and reports telemetry
+	// under its name; its param travels through Options.Params.
+	res, err := portfolio.Solve(context.Background(), cse.C, cse.CS, portfolio.Options{
+		Backends: []string{"greedy", "toy-reverse"},
+		Budget:   5 * time.Second,
+		Params:   backend.Params{"toy-reverse.rotate": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvertest.RequireFeasible(t, cse.C.N, cse.CS, res.Order)
+	found := false
+	for _, br := range res.Backends {
+		if br.Name == "toy-reverse" {
+			found = true
+			if br.Err != nil || br.Skipped {
+				t.Fatalf("toy-reverse did not run: %+v", br)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no toy-reverse telemetry: %+v", res.Backends)
+	}
+
+	// Param validation knows the declared knob — and still rejects junk.
+	if _, err := backend.ParseParams([]string{"toy-reverse.rotate=3"}); err != nil {
+		t.Fatalf("declared toy param rejected: %v", err)
+	}
+	if _, err := backend.ParseParams([]string{"toy-reverse.rotate=99"}); err == nil {
+		t.Fatal("out-of-range toy param accepted")
+	}
+
+	// GET /solvers on a live service lists it with the param spec.
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	resp, err := http.Get(ts.URL + "/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Solvers []service.SolverInfo `json:"solvers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var toy *service.SolverInfo
+	for i := range body.Solvers {
+		if body.Solvers[i].Name == "toy-reverse" {
+			toy = &body.Solvers[i]
+		}
+	}
+	if toy == nil {
+		t.Fatalf("GET /solvers does not list toy-reverse")
+	}
+	if toy.Kind != "constructive" || len(toy.Params) != 1 ||
+		!strings.HasPrefix(toy.Params[0].Name, "toy-reverse.") {
+		t.Fatalf("toy-reverse catalogue entry malformed: %+v", toy)
+	}
+}

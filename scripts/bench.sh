@@ -12,11 +12,18 @@
 # Usage:
 #   scripts/bench.sh                 # run + write BENCH_eval.json
 #   COUNT=10 scripts/bench.sh        # more repetitions
+#   scripts/bench.sh --section cp_parallel
+#       rerun ONLY that section's benchmarks and merge them into the
+#       existing BENCH_eval.json (other sections untouched). This is how
+#       the cp_parallel numbers get regenerated on multi-core hardware
+#       without redoing the evaluation-core suite; the section records
+#       its own "cpus" so a mixed file stays honest. Sections:
+#       cp_parallel, eval.
 #   SEED_REF=<git-ref> scripts/bench.sh
 #       also measure the pre-MoveEval full-replay scoring cost at the
 #       given ref (e.g. the PR base commit) in a throwaway worktree and
 #       record it under "seed_baseline" — the denominator of the ≥3×
-#       move-scoring acceptance ratio.
+#       move-scoring acceptance ratio. (Full runs only, not --section.)
 #
 # The JSON's "raw" array holds the unmodified `go test -bench` lines, so
 # benchstat can diff two baselines without re-running anything:
@@ -34,16 +41,48 @@ PATTERN="${PATTERN:-BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|B
 OUT="${OUT:-BENCH_eval.json}"
 SEED_REF="${SEED_REF:-}"
 
+SECTION=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --section) SECTION="${2:?--section needs a name}"; shift 2 ;;
+        --section=*) SECTION="${1#--section=}"; shift ;;
+        *) echo "bench.sh: unknown argument $1 (only --section <name>)" >&2; exit 2 ;;
+    esac
+done
+if [ -n "$SECTION" ]; then
+    case "$SECTION" in
+        cp_parallel) PATTERN='BenchmarkCPParallel' ;;
+        eval) PATTERN='BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop' ;;
+        *) echo "bench.sh: unknown section '$SECTION' (sections: cp_parallel, eval)" >&2; exit 2 ;;
+    esac
+    if [ ! -f "$OUT" ]; then
+        echo "bench.sh: --section merges into an existing $OUT; run a full pass first" >&2
+        exit 2
+    fi
+    if [ -n "$SEED_REF" ]; then
+        echo "bench.sh: SEED_REF only applies to full runs, not --section" >&2
+        exit 2
+    fi
+fi
+
 raw_file="$(mktemp)"
 seed_file="$(mktemp)"
+frag_file="$(mktemp)"
 seed_dir=""
 cleanup() {
-    rm -f "$raw_file" "$seed_file"
+    rm -f "$raw_file" "$seed_file" "$frag_file"
     if [ -n "$seed_dir" ]; then
         git worktree remove --force "$seed_dir" 2>/dev/null || true
     fi
 }
 trap cleanup EXIT
+
+# With --section the awk fold below writes a fragment that is then
+# merged into the existing $OUT; full runs write $OUT directly.
+gen_out="$OUT"
+if [ -n "$SECTION" ]; then
+    gen_out="$frag_file"
+fi
 
 echo "== benchmarks: $PATTERN (count=$COUNT, benchtime=$BENCHTIME)" >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw_file" >&2
@@ -178,6 +217,49 @@ END {
     for (i = 1; i <= nraw; i++)
         printf "    \"%s\"%s\n", esc(raw[i]), (i < nraw ? "," : "")
     printf "  ]\n}\n"
-}' "$raw_file" > "$OUT"
+}' "$raw_file" > "$gen_out"
 
-echo "wrote $OUT" >&2
+if [ -n "$SECTION" ]; then
+    # Merge the fragment into the checked-in baseline: replace the
+    # section's benchmark entries and raw lines, carry the fragment's
+    # cpus into the section summary, leave everything else untouched.
+    python3 - "$OUT" "$frag_file" "$SECTION" <<'EOF'
+import json, re, sys
+
+full_path, frag_path, section = sys.argv[1:4]
+with open(full_path) as f:
+    old = json.load(f)
+with open(frag_path) as f:
+    new = json.load(f)
+
+names = {b["name"] for b in new.get("benchmarks", [])}
+old["benchmarks"] = [b for b in old.get("benchmarks", []) if b["name"] not in names]
+old["benchmarks"] += new.get("benchmarks", [])
+
+def base(line):
+    m = re.match(r"(Benchmark\S+?)(-\d+)?\s", line)
+    return m.group(1) if m else None
+
+old["raw"] = [l for l in old.get("raw", []) if base(l) not in names]
+old["raw"] += new.get("raw", [])
+
+if "cp_parallel" in new:
+    cp = new["cp_parallel"]
+    # The section regen may run on different hardware than the rest of
+    # the file; pin its own cpu count next to its speedups.
+    cp["cpus"] = new.get("cpus")
+    old["cp_parallel"] = cp
+
+old.setdefault("sections", {})[section] = {
+    "cpus": new.get("cpus"),
+    "count": new.get("count"),
+    "benchtime": new.get("benchtime"),
+}
+with open(full_path, "w") as f:
+    json.dump(old, f, indent=2)
+    f.write("\n")
+EOF
+    echo "merged section '$SECTION' into $OUT" >&2
+else
+    echo "wrote $OUT" >&2
+fi
