@@ -239,9 +239,14 @@ func benchCPParallelProof(b *testing.B, workers int) {
 	c := model.MustCompile(in)
 	cs, _ := prune.Analyze(c, prune.Options{})
 	init := greedy.Solve(c, cs)
+	// Production configuration (registry default): the tail tables are
+	// preprocessing, built once per request outside the search.
+	tb := prune.NewTailBound(c, cs, prune.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := cp.Solve(c, cs, cp.Options{Workers: workers, Incumbent: init, Seed: int64(i)})
+		res := cp.Solve(c, cs, cp.Options{
+			Workers: workers, Incumbent: init, Seed: int64(i), TailBound: tb,
+		})
 		if !res.Proved {
 			b.Fatal("proof did not complete")
 		}
@@ -256,11 +261,12 @@ func benchCPParallelTPCH31(b *testing.B, workers int) {
 	c := model.MustCompile(datasets.TPCH())
 	cs, _ := prune.Analyze(c, prune.Options{})
 	init := greedy.Solve(c, cs)
+	tb := prune.NewTailBound(c, cs, prune.Options{})
 	const nodeBudget = 2_000_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := cp.Solve(c, cs, cp.Options{
-			Workers: workers, NodeLimit: nodeBudget, Incumbent: init, Seed: int64(i),
+			Workers: workers, NodeLimit: nodeBudget, Incumbent: init, Seed: int64(i), TailBound: tb,
 		})
 		if res.Nodes < nodeBudget {
 			b.Fatalf("search ended after %d nodes", res.Nodes)

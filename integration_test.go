@@ -63,7 +63,7 @@ func TestCLIIntegration(t *testing.T) {
 	// cp engine (visible as workers telemetry in the JSON report), and
 	// the deprecated -cp-workers alias.
 	out = run("iddsolve", "-list-solvers")
-	for _, want := range []string{"cp.workers", "vns", "exact", "anytime"} {
+	for _, want := range []string{"cp.workers", "cp.tail_bound", "vns", "exact", "anytime"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("iddsolve -list-solvers missing %q:\n%s", want, out)
 		}

@@ -43,10 +43,13 @@ func TestSolversEndpoint(t *testing.T) {
 	if cp.Kind != "exact" || !cp.Proves {
 		t.Errorf("cp self-description wrong: %+v", cp)
 	}
-	var workersSpec *SolverParam
+	var workersSpec, tailSpec *SolverParam
 	for i, p := range cp.Params {
-		if p.Name == "cp.workers" {
+		switch p.Name {
+		case "cp.workers":
 			workersSpec = &cp.Params[i]
+		case "cp.tail_bound":
+			tailSpec = &cp.Params[i]
 		}
 	}
 	if workersSpec == nil {
@@ -54,6 +57,12 @@ func TestSolversEndpoint(t *testing.T) {
 	}
 	if workersSpec.Type != "int" || workersSpec.Help == "" {
 		t.Errorf("cp.workers spec incomplete: %+v", workersSpec)
+	}
+	if tailSpec == nil {
+		t.Fatalf("cp declares no cp.tail_bound param: %+v", cp.Params)
+	}
+	if tailSpec.Type != "bool" || tailSpec.Help == "" || tailSpec.Default != true {
+		t.Errorf("cp.tail_bound spec incomplete (want bool, default true): %+v", tailSpec)
 	}
 	if byName["vns"].FinisherRank <= byName["lns"].FinisherRank {
 		t.Errorf("vns must outrank lns as finisher: %d vs %d",
@@ -98,6 +107,7 @@ func TestSubmitRejectsBadParams(t *testing.T) {
 	}{
 		{"unknown key", map[string]any{"cp.wrokers": 4}, []string{"cp.wrokers", "cp.workers"}},
 		{"ill-typed", map[string]any{"cp.workers": "four"}, []string{"cp.workers", "int"}},
+		{"ill-typed bool", map[string]any{"cp.tail_bound": "yes"}, []string{"cp.tail_bound", "bool"}},
 		{"fractional", map[string]any{"cp.workers": 2.5}, []string{"cp.workers"}},
 		{"out of range", map[string]any{"cp.workers": -1}, []string{"cp.workers", "minimum"}},
 	}

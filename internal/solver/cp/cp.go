@@ -6,6 +6,14 @@
 // limits and frozen positions, which is exactly the interface Large
 // Neighborhood Search needs (§7.2).
 //
+// The descent loop is allocation-free in steady state: candidate lists
+// live in per-depth rows carved from one arena owned by the searcher,
+// branching densities go through a per-index scratch table, and
+// improving solutions are copied into reusable buffers. Per-solve cost
+// is a fixed handful of setup allocations regardless of tree size —
+// pinned by allocation-regression tests (alloc_test.go) so a
+// per-node allocation can never silently return.
+//
 // With Options.Workers > 1 the proof search runs as a work-stealing
 // parallel branch-and-bound (see parallel.go): the tree is split at
 // shallow depths into a frontier of subproblems spread over per-worker
@@ -20,8 +28,10 @@ import (
 	"math"
 	"time"
 
+	"github.com/evolving-olap/idd/internal/bitset"
 	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/solver/bruteforce"
 )
 
@@ -59,11 +69,23 @@ type Options struct {
 	// be deployed k-th, or -1 if position k is free. Frozen positions
 	// implement LNS relaxations.
 	Fixed []int
-	// OnSolution, when non-nil, is invoked for every improving solution
-	// (with a copy of the order). With Workers > 1 it may be invoked from
-	// any worker goroutine; calls are serialized under the incumbent lock,
-	// so objectives still arrive strictly decreasing.
+	// OnSolution, when non-nil, is invoked for every improving solution.
+	// The order slice is a reusable buffer valid only for the duration of
+	// the call — copy it to retain it (the portfolio store and the
+	// service both copy internally). With Workers > 1 it may be invoked
+	// from any worker goroutine; calls are serialized under the incumbent
+	// lock, so objectives still arrive strictly decreasing.
 	OnSolution func(order []int, objective float64)
+
+	// TailBound, when non-nil, folds the §5.5 tail analysis into the
+	// in-search lower bound: at nodes within TailBound.MaxLen() steps of
+	// the leaves the exact minimal completion cost of the remaining set
+	// is looked up and the node is pruned when even that cannot beat the
+	// incumbent. Sound for any search (lookup misses never prune); the
+	// proved optimum is unchanged, only the tree shrinks. The registry
+	// param "cp.tail_bound" builds one per request (default on); direct
+	// callers construct it with prune.NewTailBound.
+	TailBound *prune.TailBound
 
 	// Workers sets the number of branch-and-bound worker goroutines
 	// (0 or 1 = single-threaded). The single-threaded search is fully
@@ -83,8 +105,9 @@ type Options struct {
 
 	// Ablation switches (benchmarks only; keep both false in real use):
 	// NaiveBranching disables the density-guided value ordering, and
-	// NoBound disables the admissible objective bound, leaving only the
-	// combinatorial (alldifferent/precedence) pruning.
+	// NoBound disables the admissible objective bound (including the
+	// tail bound), leaving only the combinatorial
+	// (alldifferent/precedence) pruning.
 	NaiveBranching bool
 	NoBound        bool
 }
@@ -132,7 +155,24 @@ type searcher struct {
 	// fixedPos[i] = position index i is pinned to by Options.Fixed, or -1.
 	fixedPos []int
 
+	// candRows[k] is the reusable candidate row for depth k, carved from
+	// one flat arena (row k holds at most n-k candidates, so the arena is
+	// n(n+1)/2 ints total). dfs at depth k owns row k exclusively while
+	// its loop runs; recursion only ever touches deeper rows, so no row
+	// is reused while a caller still iterates it.
+	candRows [][]int
+	// dens[i] is the branching density of candidate index i at the node
+	// currently being expanded (scratch for the candidate sort).
+	dens []float64
+	// tailScratch collects the remaining indexes for tail-bound lookups
+	// near the leaves (at most prune.TailBound.MaxLen() entries).
+	tailScratch []int
+
+	// best/cbBuf are reusable solution buffers: best holds the improving
+	// incumbent (monotone, so in-place overwrite is safe), cbBuf is what
+	// OnSolution borrows for the duration of each callback.
 	best      []int
+	cbBuf     []int
 	bestObj   float64
 	nodes     int64
 	fails     int64
@@ -141,35 +181,52 @@ type searcher struct {
 	poll      int // countdown to the next deadline/context poll
 
 	// Parallel-mode hookup (nil for the serial engine): the shared run
-	// state, this worker's id, and high-water marks of the effort already
-	// flushed into the run's global counters.
+	// state, this worker's id, high-water marks of the effort already
+	// flushed into the run's global counters, the worker's subproblem
+	// frame free list, and the scratch bitset adopt() rebuilds
+	// precedence readiness from.
 	par          *parRun
 	wid          int
 	flushedNodes int64
 	flushedFails int64
+	freeFrames   []*subproblem
+	adoptSet     bitset.Set
 }
 
 func newSearcher(c *model.Compiled, cs *constraint.Set, opt Options) *searcher {
+	n := c.N
 	s := &searcher{
 		c:         c,
 		cs:        cs,
 		opt:       opt,
 		lb:        bruteforce.NewLowerBound(c),
 		w:         model.NewWalker(c),
-		placed:    make([]bool, c.N),
-		order:     make([]int, c.N),
-		predsLeft: make([]int, c.N),
-		minPos:    make([]int, c.N),
-		maxPos:    make([]int, c.N),
+		placed:    make([]bool, n),
+		order:     make([]int, n),
+		predsLeft: make([]int, n),
+		minPos:    make([]int, n),
+		maxPos:    make([]int, n),
+		dens:      make([]float64, n),
 		bestObj:   math.Inf(1),
 		poll:      pollStride,
 	}
-	for i := 0; i < c.N; i++ {
+	if ml := opt.TailBound.MaxLen(); ml > 0 {
+		s.tailScratch = make([]int, 0, ml)
+	}
+	// One flat arena backs every per-depth candidate row.
+	s.candRows = make([][]int, n)
+	flat := make([]int, n*(n+1)/2)
+	off := 0
+	for k := 0; k < n; k++ {
+		s.candRows[k] = flat[off:off : off+(n-k)]
+		off += n - k
+	}
+	for i := 0; i < n; i++ {
 		s.predsLeft[i] = cs.Predecessors(i).Count()
 		s.minPos[i] = cs.MinPos(i)
 		s.maxPos[i] = cs.MaxPos(i)
 	}
-	s.fixedPos = make([]int, c.N)
+	s.fixedPos = make([]int, n)
 	for i := range s.fixedPos {
 		s.fixedPos[i] = -1
 	}
@@ -195,7 +252,7 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	}
 	s := newSearcher(c, cs, opt)
 	if opt.Incumbent != nil {
-		s.best = append([]int(nil), opt.Incumbent...)
+		s.best = append(s.best, opt.Incumbent...)
 		s.bestObj = c.Objective(opt.Incumbent)
 	}
 	s.dfs(0)
@@ -261,10 +318,11 @@ func (s *searcher) dfs(k int) bool {
 		}
 		if obj < s.bestObj-1e-12 {
 			s.bestObj = obj
-			s.best = s.w.Order()
+			s.best = append(s.best[:0], s.order[:n]...)
 			s.solutions++
 			if s.opt.OnSolution != nil {
-				s.opt.OnSolution(append([]int(nil), s.best...), obj)
+				s.cbBuf = append(s.cbBuf[:0], s.best...)
+				s.opt.OnSolution(s.cbBuf, obj)
 			}
 		}
 		return true
@@ -286,6 +344,10 @@ func (s *searcher) dfs(k int) bool {
 	}
 	if !s.opt.NoBound && !math.IsInf(ub, 1) {
 		if s.boundBelow() >= ub-1e-12 {
+			s.fails++
+			return true
+		}
+		if s.tailPruned(k, ub) {
 			s.fails++
 			return true
 		}
@@ -337,19 +399,44 @@ func (s *searcher) boundBelow() float64 {
 	return s.w.Objective() + s.w.Runtime()*restMin + rmin*(restSum-restMin)
 }
 
+// tailPruned applies the in-search tail bound at nodes within
+// TailBound.MaxLen() steps of the leaves: the exact minimal area of any
+// feasible completion of the remaining set is looked up and the node
+// fails when even that cannot strictly beat ub. Lookup misses never
+// prune, so the check is sound regardless of the table's coverage.
+func (s *searcher) tailPruned(k int, ub float64) bool {
+	tb := s.opt.TailBound
+	m := s.c.N - k
+	if m > tb.MaxLen() { // MaxLen is 0 when tb is nil
+		return false
+	}
+	rem := s.tailScratch[:0]
+	for i := 0; i < s.c.N; i++ {
+		if !s.placed[i] {
+			rem = append(rem, i)
+		}
+	}
+	t, ok := tb.Lookup(rem)
+	return ok && s.w.Objective()+t >= ub-1e-12
+}
+
 // candidates returns the branching order for position k, or nil when the
-// node is a dead end. First-fail flavor: an index whose latest feasible
-// position is k is forced (two such indexes = failure); otherwise
-// candidates are the ready indexes ordered by current density, which
-// steers the search toward good incumbents early.
+// node is a dead end. The returned slice is the searcher's reusable row
+// for depth k — valid until the next candidates(k) call at the same
+// depth, which cannot happen while the caller's loop is still running.
+// First-fail flavor: an index whose latest feasible position is k is
+// forced (two such indexes = failure); otherwise candidates are the
+// ready indexes ordered by current density, which steers the search
+// toward good incumbents early.
 func (s *searcher) candidates(k int) []int {
 	n := s.c.N
+	row := s.candRows[k][:0]
 	if s.opt.Fixed != nil && s.opt.Fixed[k] >= 0 {
 		i := s.opt.Fixed[k]
 		if s.placed[i] || s.predsLeft[i] > 0 || s.minPos[i] > k || s.maxPos[i] < k {
 			return nil
 		}
-		return []int{i}
+		return append(row, i)
 	}
 	forced := -1
 	for i := 0; i < n; i++ {
@@ -370,14 +457,9 @@ func (s *searcher) candidates(k int) []int {
 		if s.predsLeft[forced] > 0 || s.minPos[forced] > k {
 			return nil
 		}
-		return []int{forced}
+		return append(row, forced)
 	}
 
-	type cand struct {
-		i       int
-		density float64
-	}
-	var cands []cand
 	for i := 0; i < n; i++ {
 		if s.placed[i] || s.predsLeft[i] > 0 || s.minPos[i] > k {
 			continue
@@ -387,37 +469,33 @@ func (s *searcher) candidates(k int) []int {
 		if s.fixedPos[i] >= 0 && s.fixedPos[i] != k {
 			continue
 		}
-		density := 0.0
-		if !s.opt.NaiveBranching {
-			density = s.w.SpeedupIfBuilt(i) / s.w.BuildCost(i)
+		if s.opt.NaiveBranching {
+			s.dens[i] = 0
+		} else {
+			s.dens[i] = s.w.SpeedupIfBuilt(i) / s.w.BuildCost(i)
 		}
-		cands = append(cands, cand{i: i, density: density})
+		row = append(row, i)
 	}
-	if len(cands) == 0 {
+	if len(row) == 0 {
 		return nil
 	}
 	// Insertion sort by density desc, id asc — candidate lists are short.
 	// With NaiveBranching all densities are zero and id order remains.
-	for a := 1; a < len(cands); a++ {
-		for b := a; b > 0 && better(cands[b], cands[b-1]); b-- {
-			cands[b], cands[b-1] = cands[b-1], cands[b]
+	for a := 1; a < len(row); a++ {
+		for b := a; b > 0 && s.better(row[b], row[b-1]); b-- {
+			row[b], row[b-1] = row[b-1], row[b]
 		}
 	}
-	out := make([]int, len(cands))
-	for k2 := range cands {
-		out[k2] = cands[k2].i
-	}
-	return out
+	return row
 }
 
-func better(a, b struct {
-	i       int
-	density float64
-}) bool {
-	if a.density != b.density {
-		return a.density > b.density
+// better orders candidate indexes by the density recorded in s.dens
+// (descending), ties by id (ascending).
+func (s *searcher) better(a, b int) bool {
+	if s.dens[a] != s.dens[b] {
+		return s.dens[a] > s.dens[b]
 	}
-	return a.i < b.i
+	return a < b
 }
 
 func (s *searcher) place(i int) {

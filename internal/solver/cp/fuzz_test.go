@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/randgen"
 	"github.com/evolving-olap/idd/internal/sched"
 	"github.com/evolving-olap/idd/internal/solver/bruteforce"
@@ -13,13 +14,15 @@ import (
 
 // FuzzCPParallel cross-checks the work-stealing parallel proof search
 // against exhaustive enumeration on tiny random instances: for any
-// instance shape, worker count, split depth and seed, the parallel
-// engine must prove the brute-force optimum with a feasible order.
+// instance shape, worker count, split depth, seed and tail-bound
+// configuration (off, or tables of length 1..4), the parallel engine
+// must prove the brute-force optimum with a feasible order — the tail
+// bound may only shrink the tree, never change what is proved.
 func FuzzCPParallel(f *testing.F) {
-	f.Add(int64(1), uint8(6), uint8(2), uint8(20), uint8(0))
-	f.Add(int64(7), uint8(8), uint8(8), uint8(0), uint8(3))
-	f.Add(int64(42), uint8(4), uint8(3), uint8(45), uint8(1))
-	f.Fuzz(func(t *testing.T, seed int64, n, workers, precPct, split uint8) {
+	f.Add(int64(1), uint8(6), uint8(2), uint8(20), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(8), uint8(8), uint8(0), uint8(3), uint8(1))
+	f.Add(int64(42), uint8(4), uint8(3), uint8(45), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, n, workers, precPct, split, tail uint8) {
 		cfg := randgen.DefaultConfig()
 		cfg.Indexes = 3 + int(n%6) // 3..8: brute force is instant
 		cfg.Queries = 3 + int(n%4)
@@ -32,10 +35,15 @@ func FuzzCPParallel(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var tb *prune.TailBound
+		if tail%5 != 0 { // 0 = bound off; 1..4 = table length
+			tb = prune.NewTailBound(c, cs, prune.Options{TailLength: int(tail % 5)})
+		}
 		res := Solve(c, cs, Options{
 			Workers:    2 + int(workers%7), // 2..8
 			SplitDepth: int(split % 10),    // 0 = auto, up to deeper than n
 			Seed:       seed,
+			TailBound:  tb,
 		})
 		if !res.Proved {
 			t.Fatalf("parallel search not exhausted on %d indexes", c.N)

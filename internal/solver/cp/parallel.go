@@ -1,15 +1,23 @@
 // Work-stealing parallel branch-and-bound. The search tree is cut at a
 // shallow split depth: whenever a worker expands a node above that depth
 // it keeps the most promising branch and donates the sibling branches to
-// its own deque as frontier subproblems (a deployment prefix plus the
-// bitset of placed indexes). Idle workers steal from the opposite end of
-// victim deques, so the owner keeps depth-first locality while thieves
-// take the shallowest — largest — subtrees. All workers prune against a
-// single atomic incumbent that also bridges to the portfolio (it polls
+// its own deque as frontier subproblems (a deployment prefix). Idle
+// workers steal from the opposite end of victim deques, so the owner
+// keeps depth-first locality while thieves take the shallowest —
+// largest — subtrees. All workers prune against a single atomic
+// incumbent that also bridges to the portfolio (it polls
 // Options.ExternalBound and publishes improvements through
 // Options.OnSolution), and a global open-subproblem counter certifies
 // the optimality proof: when it drains to zero with no abort, every
 // branch of the tree was either explored or bounded away.
+//
+// Subproblem frames are pooled: each worker keeps a private free list
+// and recycles every frame it finishes into it, so after a brief warmup
+// the steady-state steal/spawn cycle allocates nothing (frames spawned
+// by one worker and adopted by another simply migrate free lists; each
+// list is only ever touched by its owning goroutine). Free lists rather
+// than sync.Pool keep recycling deterministic — allocation counts must
+// not depend on GC timing, because alloc_test.go pins them.
 package cp
 
 import (
@@ -24,11 +32,33 @@ import (
 )
 
 // subproblem is one frontier node: the search subtree rooted at the
-// given deployment prefix. The placed bitset mirrors the prefix; thieves
-// use it to recompute precedence readiness in O(n²/64) on adoption.
+// given deployment prefix. Everything else a thief needs (placed set,
+// precedence readiness) is recomputed from the prefix on adoption, so
+// the frame itself is just a reusable int buffer.
 type subproblem struct {
 	prefix []int
-	placed bitset.Set
+}
+
+// getFrame pops a recycled frame from the worker's free list (or
+// allocates one of the initial frames during warmup). Only the
+// searcher's own goroutine touches its free list.
+func (s *searcher) getFrame() *subproblem {
+	if n := len(s.freeFrames); n > 0 {
+		sp := s.freeFrames[n-1]
+		s.freeFrames[n-1] = nil
+		s.freeFrames = s.freeFrames[:n-1]
+		return sp
+	}
+	return &subproblem{prefix: make([]int, 0, s.c.N)}
+}
+
+// putFrame recycles a finished frame into the worker's own free list —
+// including frames spawned by other workers; migration is safe because
+// a frame is owned by exactly one goroutine at a time (spawner → deque
+// → adopter → adopter's free list).
+func (s *searcher) putFrame(sp *subproblem) {
+	sp.prefix = sp.prefix[:0]
+	s.freeFrames = append(s.freeFrames, sp)
 }
 
 // deque is one worker's subproblem store. The owner pushes and pops at
@@ -81,6 +111,9 @@ type incumbent struct {
 	bits  atomic.Uint64
 	mu    sync.Mutex
 	order []int
+	// cbBuf is the reusable buffer OnSolution borrows for the duration
+	// of each callback (guarded by mu, like order).
+	cbBuf []int
 	onSol func(order []int, objective float64)
 }
 
@@ -98,13 +131,15 @@ func (in *incumbent) objective() float64 {
 // the serial engine, which only reports strict improvements over the
 // seeded incumbent).
 func (in *incumbent) seed(order []int, obj float64) {
-	in.order = append([]int(nil), order...)
+	in.order = append(in.order[:0], order...)
 	in.bits.Store(math.Float64bits(obj))
 }
 
-// offer publishes an improving schedule; order is copied. The same
+// offer publishes an improving schedule; order is copied into reusable
+// buffers, so the steady-state offer path allocates nothing. The same
 // strict-improvement epsilon as the serial engine applies, so a parallel
-// proof accepts exactly the objectives a serial one would.
+// proof accepts exactly the objectives a serial one would. OnSolution
+// borrows cbBuf only for the duration of the call, per its contract.
 func (in *incumbent) offer(order []int, obj float64) bool {
 	if obj >= in.objective()-1e-12 {
 		return false
@@ -117,7 +152,8 @@ func (in *incumbent) offer(order []int, obj float64) bool {
 	in.order = append(in.order[:0], order...)
 	in.bits.Store(math.Float64bits(obj))
 	if in.onSol != nil {
-		in.onSol(append([]int(nil), order...), obj)
+		in.cbBuf = append(in.cbBuf[:0], order...)
+		in.onSol(in.cbBuf, obj)
 	}
 	return true
 }
@@ -175,17 +211,15 @@ func (r *parRun) stop(abort bool) {
 }
 
 // spawn donates sibling branches of the node at depth k to the worker's
-// own deque and wakes thieves. Runs on the worker that owns s.
+// own deque and wakes thieves. Runs on the worker that owns s; frames
+// come from s's free list.
 func (r *parRun) spawn(s *searcher, k int, rest []int) {
 	d := r.deques[s.wid]
 	for _, i := range rest {
-		prefix := make([]int, k+1)
-		copy(prefix, s.order[:k])
-		prefix[k] = i
-		placed := s.w.BuiltSet().Clone()
-		placed.Add(i)
+		sp := s.getFrame()
+		sp.prefix = append(append(sp.prefix, s.order[:k]...), i)
 		r.pending.Add(1)
-		d.pushBack(&subproblem{prefix: prefix, placed: placed})
+		d.pushBack(sp)
 	}
 	r.mu.Lock()
 	r.workSeq++
@@ -234,18 +268,20 @@ func (s *searcher) parLimitHit() bool {
 // adopt repositions the worker's search state onto a subproblem: the
 // walker Syncs to the prefix (paying only the symmetric difference from
 // its previous position) and the precedence bookkeeping is recomputed
-// from the subproblem's placed bitset.
+// from the prefix through the worker's adoptSet scratch bitset.
 func (s *searcher) adopt(sp *subproblem) {
 	s.w.Sync(sp.prefix)
 	for i := range s.placed {
 		s.placed[i] = false
 	}
+	s.adoptSet.Clear()
 	for _, i := range sp.prefix {
 		s.placed[i] = true
+		s.adoptSet.Add(i)
 	}
 	for i := 0; i < s.c.N; i++ {
 		preds := s.cs.Predecessors(i)
-		s.predsLeft[i] = preds.Count() - preds.CountAnd(sp.placed)
+		s.predsLeft[i] = preds.Count() - preds.CountAnd(s.adoptSet)
 	}
 	copy(s.order, sp.prefix)
 }
@@ -306,13 +342,14 @@ func xorshift(s *uint64) uint64 {
 }
 
 // worker runs one branch-and-bound goroutine: pop own work, steal when
-// dry, explore each adopted subproblem depth-first, and close the run
-// when the last open subproblem finishes.
+// dry, explore each adopted subproblem depth-first, recycle its frame,
+// and close the run when the last open subproblem finishes.
 func (r *parRun) worker(wid int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	s := newSearcher(r.c, r.cs, r.opt)
 	s.par = r
 	s.wid = wid
+	s.adoptSet = bitset.New(r.c.N)
 	defer s.flushCounters()
 	rng := uint64(r.opt.Seed)*0x9E3779B97F4A7C15 + uint64(wid)*0xBF58476D1CE4E5B9 + 1
 	for {
@@ -324,6 +361,7 @@ func (r *parRun) worker(wid int, wg *sync.WaitGroup) {
 			return
 		}
 		s.dfsFrom(sp)
+		s.putFrame(sp)
 		if r.pending.Add(-1) == 0 {
 			r.stop(false) // frontier drained: proof complete
 			return
@@ -362,8 +400,10 @@ func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 
 	// Root subproblem: the empty prefix. Worker 0 picks it up first and
 	// starts splitting; the others steal as soon as siblings appear.
+	// (The root frame is heap-built here; it simply joins a worker free
+	// list when it completes, like every other frame.)
 	r.pending.Store(1)
-	r.deques[0].pushBack(&subproblem{prefix: []int{}, placed: bitset.New(c.N)})
+	r.deques[0].pushBack(&subproblem{prefix: make([]int, 0, c.N)})
 
 	var wg sync.WaitGroup
 	for wid := 0; wid < workers; wid++ {

@@ -3,6 +3,7 @@ package cp
 import (
 	"context"
 
+	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/solver/backend"
 )
 
@@ -17,6 +18,13 @@ const (
 	// ParamSplitDepth bounds the tree depth below which nodes donate
 	// sibling branches to the shared frontier (0 = auto-sized).
 	ParamSplitDepth = "cp.split_depth"
+	// ParamTailBound toggles the in-search §5.5 tail bound: exact
+	// minimal-completion-cost tables for the last few deployment steps,
+	// folded into the branch-and-bound lower bound. On by default; the
+	// proved optimum is identical either way (the bound only prunes
+	// provably dominated nodes), so the switch exists for ablation and
+	// for skipping the preprocessing on huge instances.
+	ParamTailBound = "cp.tail_bound"
 )
 
 func init() { backend.Register(asBackend{}) }
@@ -37,11 +45,17 @@ func (asBackend) Info() backend.Info {
 				Help: "parallel branch-and-bound workers for the proof search (0 or 1 = serial)"},
 			{Name: ParamSplitDepth, Type: backend.ParamInt, Default: 0, Min: f(0), Max: f(64),
 				Help: "tree depth above which subtrees are donated to the steal frontier (0 = auto)"},
+			{Name: ParamTailBound, Type: backend.ParamBool, Default: true,
+				Help: "fold exact tail-completion tables (§5.5) into the in-search lower bound"},
 		},
 	}
 }
 
 func (asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome {
+	var tb *prune.TailBound
+	if req.Params.Bool(ParamTailBound, true) {
+		tb = prune.NewTailBound(req.Compiled, req.Constraints, prune.Options{})
+	}
 	// No Deadline: the caller's context carries the budget and cp polls
 	// it at the same cadence a deadline would be checked at.
 	res := Solve(req.Compiled, req.Constraints, Options{
@@ -53,6 +67,7 @@ func (asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome
 		Workers:       req.Params.Int(ParamWorkers, 0),
 		SplitDepth:    req.Params.Int(ParamSplitDepth, 0),
 		Seed:          req.Seed,
+		TailBound:     tb,
 	})
 	return backend.Outcome{
 		Order: res.Order, Objective: res.Objective,

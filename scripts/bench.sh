@@ -17,8 +17,8 @@
 #       existing BENCH_eval.json (other sections untouched). This is how
 #       the cp_parallel numbers get regenerated on multi-core hardware
 #       without redoing the evaluation-core suite; the section records
-#       its own "cpus" so a mixed file stays honest. Sections:
-#       cp_parallel, eval.
+#       its own "cpus" and "gomaxprocs" so a mixed file stays honest.
+#       Sections: cp_parallel, eval.
 #   SEED_REF=<git-ref> scripts/bench.sh
 #       also measure the pre-MoveEval full-replay scoring cost at the
 #       given ref (e.g. the PR base commit) in a throwaway worktree and
@@ -155,7 +155,8 @@ EOF
 fi
 
 # Fold the raw `go test -bench` output into one JSON document.
-awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v seedfile="$seed_file" -v seedref="$SEED_REF" -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)" '
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v seedfile="$seed_file" -v seedref="$SEED_REF" -v cpus="$ncpu" -v gomaxprocs="${GOMAXPROCS:-$ncpu}" '
 function esc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); gsub(/\r/, "", s); return s }
 function median(vals, n,    i, j, t) {
     for (i = 2; i <= n; i++)
@@ -189,6 +190,7 @@ END {
     printf "  \"generated_by\": \"scripts/bench.sh\",\n"
     printf "  \"count\": %d,\n  \"benchtime\": \"%s\",\n", count, esc(benchtime)
     printf "  \"cpus\": %d,\n", cpus
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     if (seedref != "") printf "  \"seed_ref\": \"%s\",\n", esc(seedref)
     for (m in meta) printf "  \"%s\": \"%s\",\n", esc(m), esc(meta[m])
     printf "  \"benchmarks\": [\n"
@@ -210,7 +212,7 @@ END {
         printf "    \"proof_ns_w8\": %g,\n", med[w8]
         if (w2 in med) printf "    \"speedup_w2\": %.3f,\n", med[w1] / med[w2]
         printf "    \"speedup_w8\": %.3f,\n", med[w1] / med[w8]
-        printf "    \"note\": \"speedup is bounded by the cpus count above; a 1-cpu runner measures ~1x by construction\"\n"
+        printf "    \"note\": \"speedup is bounded by min(cpus, gomaxprocs) recorded above; a 1-cpu runner measures ~1x by construction\"\n"
         printf "  },\n"
     }
     printf "  \"raw\": [\n"
@@ -246,12 +248,14 @@ old["raw"] += new.get("raw", [])
 if "cp_parallel" in new:
     cp = new["cp_parallel"]
     # The section regen may run on different hardware than the rest of
-    # the file; pin its own cpu count next to its speedups.
+    # the file; pin its own cpu counts next to its speedups.
     cp["cpus"] = new.get("cpus")
+    cp["gomaxprocs"] = new.get("gomaxprocs")
     old["cp_parallel"] = cp
 
 old.setdefault("sections", {})[section] = {
     "cpus": new.get("cpus"),
+    "gomaxprocs": new.get("gomaxprocs"),
     "count": new.get("count"),
     "benchtime": new.get("benchtime"),
 }

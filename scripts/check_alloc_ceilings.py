@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Assert the cp_parallel benchmarks stay under pinned allocation
+ceilings.
+
+Reads a BENCH_eval.json produced (or section-merged) by
+scripts/bench.sh and fails if any BenchmarkCPParallel_* entry reports
+more allocs/op than its ceiling. The ceilings are set ~4-10x above the
+measured post-rewrite values (tens to hundreds of allocations per
+complete proof — fixed per-solve setup, nothing per node), and 4-6
+orders of magnitude below the pre-rewrite state (28M allocs for the
+n=20 proof), so any per-node allocation sneaking back into the
+branch-and-bound loop fails CI long before it shows up in a baseline
+diff. Complements the testing.AllocsPerRun pins in
+internal/solver/cp/alloc_test.go, which gate the same invariant at
+unit-test granularity.
+
+Usage: scripts/check_alloc_ceilings.py [BENCH_eval.json]
+"""
+import json
+import sys
+
+# allocs/op ceilings per benchmark. The W>1 budgets scale with worker
+# count: each worker allocates its own searcher arenas plus a bounded
+# frame-pool warmup.
+CEILINGS = {
+    "BenchmarkCPParallel_ProofN20Low_W1": 500,
+    "BenchmarkCPParallel_ProofN20Low_W2": 1_500,
+    "BenchmarkCPParallel_ProofN20Low_W8": 5_000,
+    "BenchmarkCPParallel_TPCH31Nodes_W1": 500,
+    "BenchmarkCPParallel_TPCH31Nodes_W8": 5_000,
+}
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_eval.json"
+    with open(path) as f:
+        doc = json.load(f)
+
+    by_name = {b["name"]: b for b in doc.get("benchmarks", [])}
+    failures = []
+    missing = []
+    for name, ceiling in CEILINGS.items():
+        entry = by_name.get(name)
+        if entry is None or "allocs_per_op" not in entry:
+            missing.append(name)
+            continue
+        allocs = entry["allocs_per_op"]
+        status = "ok" if allocs <= ceiling else "FAIL"
+        print(f"{status:4} {name}: {allocs:g} allocs/op (ceiling {ceiling})")
+        if allocs > ceiling:
+            failures.append(name)
+
+    if missing:
+        print(f"error: benchmarks missing from {path}: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            "error: allocation ceilings exceeded — a per-node allocation is "
+            "back in the CP hot loop (see internal/solver/cp/alloc_test.go)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
