@@ -7,6 +7,7 @@ package idd_test
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -256,6 +257,39 @@ func benchCPParallelProof(b *testing.B, workers int) {
 func BenchmarkCPParallel_ProofN20Low_W1(b *testing.B) { benchCPParallelProof(b, 1) }
 func BenchmarkCPParallel_ProofN20Low_W2(b *testing.B) { benchCPParallelProof(b, 2) }
 func BenchmarkCPParallel_ProofN20Low_W8(b *testing.B) { benchCPParallelProof(b, 8) }
+
+// BenchmarkCPParallel_ProofN20Low_W4Instrumented runs the same complete
+// proof with every observability surface live: the per-worker search
+// Stats (always on), an OnSolution callback, and an ExternalBound poll
+// every node — the portfolio-embedded configuration. Its alloc ceiling
+// (see scripts/check_alloc_ceilings.py) pins the invariant that
+// instrumentation stays out of the allocator: counters are plain ints
+// in per-worker scratch, merged once per solve.
+func BenchmarkCPParallel_ProofN20Low_W4Instrumented(b *testing.B) {
+	in := datasets.ReducedTPCH(20, datasets.Low)
+	c := model.MustCompile(in)
+	cs, _ := prune.Analyze(c, prune.Options{})
+	init := greedy.Solve(c, cs)
+	tb := prune.NewTailBound(c, cs, prune.Options{})
+	var solutions int64
+	onSol := func(_ []int, _ float64) { solutions++ } // serialized by the engine
+	bound := func() float64 { return math.Inf(1) }    // polled per node, never prunes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cp.Solve(c, cs, cp.Options{
+			Workers: 4, Incumbent: init, Seed: int64(i), TailBound: tb,
+			OnSolution: onSol, ExternalBound: bound,
+		})
+		if !res.Proved {
+			b.Fatal("proof did not complete")
+		}
+		st := res.Stats
+		if st.PrunedBound+st.PrunedTail+st.Infeasible != res.Fails {
+			b.Fatalf("prune causes %d+%d+%d do not sum to fails %d",
+				st.PrunedBound, st.PrunedTail, st.Infeasible, res.Fails)
+		}
+	}
+}
 
 func benchCPParallelTPCH31(b *testing.B, workers int) {
 	c := model.MustCompile(datasets.TPCH())

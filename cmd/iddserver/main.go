@@ -16,9 +16,20 @@
 //	GET    /jobs/{id}        job status, result when finished
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	GET    /jobs/{id}/events server-sent events: incumbent progress
+//	GET    /jobs/{id}/trace  flight-recorder span timeline of the solve
 //	GET    /solvers          registered backends + declared param specs
 //	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          queue/cache/backend counters (JSON)
+//	GET    /metrics          JSON snapshot; Prometheus text format with
+//	                         ?format=prometheus or Accept: text/plain
+//
+// -debug-addr starts a SECOND listener (off by default) exposing only
+// net/http/pprof — profiles never share a port with solve traffic, so
+// the main address can be exposed while the debug one stays loopback:
+//
+//	iddserver -addr :8080 -debug-addr 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//	curl -s 'http://127.0.0.1:6060/debug/pprof/trace?seconds=3' > trace.out && go tool trace trace.out
 //
 // Request bodies are either a JSON envelope
 // {"instance": {...}, "budget": "2s", "backends": ["cp","vns"],
@@ -38,6 +49,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +73,7 @@ func main() {
 		maxBody   = flag.Int64("max-body", 8<<20, "request body byte limit")
 		retain    = flag.Int("retain", 4096, "finished jobs kept queryable before eviction")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain window")
+		debugAddr = flag.String("debug-addr", "", "separate net/http/pprof listener (empty = disabled; keep it loopback)")
 	)
 	flag.Var(&rawParams, "param", "server-wide default backend param as key=value (repeatable; see GET /solvers)")
 	flag.Parse()
@@ -91,6 +104,26 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// The profiling listener is its own mux with only the pprof handlers
+	// registered explicitly — nothing from http.DefaultServeMux leaks in,
+	// and solve traffic never shares a port with the profiler.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			log.Printf("iddserver: pprof listening on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("iddserver: pprof listener: %v", err)
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -105,6 +138,9 @@ func main() {
 	srv.Shutdown(ctx) // reject new work, finish the queue, cancel on timeout
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("iddserver: http shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
 	}
 	log.Printf("iddserver: drained, bye")
 }

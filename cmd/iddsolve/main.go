@@ -52,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +60,7 @@ import (
 	"github.com/evolving-olap/idd/internal/codec"
 	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/obs"
 	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/sched"
 	"github.com/evolving-olap/idd/internal/solver/backend"
@@ -84,6 +86,10 @@ type solveOutcome struct {
 	// workers is the internal parallelism the backend reported (cp's
 	// branch-and-bound goroutines; 0 = not reported).
 	workers int
+	// counters are the engine counters of the solving backend (the
+	// portfolio winner's, or the standalone backend's): cp's node and
+	// prune-cause breakdown, the local searches' steps/accepted/adopted.
+	counters map[string]int64
 }
 
 func main() {
@@ -98,6 +104,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
 		cpWork   = flag.Int("cp-workers", 0, "deprecated alias of -param cp.workers=N")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
+		trace    = flag.Bool("trace", false, "record a flight-recorder trace and print its span timeline after the report")
+		traceJS  = flag.Bool("trace-json", false, "like -trace but print the spans as JSON (inside the report when -json is set)")
 		list     = flag.Bool("list-solvers", false, "list the registered solver backends and their -param knobs, then exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -147,8 +155,13 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+	var tr *obs.Trace
+	if *trace || *traceJS {
+		tr = obs.NewTrace(0)
+		tr.Record(obs.SpanStarted)
+	}
 	start := time.Now()
-	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers, params)
+	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers, params, tr)
 	elapsed := time.Since(start)
 	interrupted := ctx.Err() != nil
 	stop()
@@ -158,9 +171,16 @@ func main() {
 	if outcome.proved != nil && !*outcome.proved {
 		code = exitNoProof
 	}
+	if tr != nil {
+		note := "solved"
+		if interrupted {
+			note = "interrupted"
+		}
+		tr.RecordObjective(obs.SpanDone, outcome.winner, obj, note)
+	}
 
 	if *jsonOut {
-		printJSON(in, c, *method, order, obj, deploy, final, elapsed, outcome, interrupted, *curve, code)
+		printJSON(in, c, *method, order, obj, deploy, final, elapsed, outcome, interrupted, *curve, code, tr)
 		exit(code)
 	}
 
@@ -183,7 +203,48 @@ func main() {
 			fmt.Printf("  %10.2f %10.2f  (+%s)\n", pt.Elapsed, pt.Runtime, in.Indexes[pt.Index].Name)
 		}
 	}
+	if len(outcome.counters) > 0 {
+		fmt.Println("counters:")
+		keys := make([]string, 0, len(outcome.counters))
+		for k := range outcome.counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-18s %d\n", k, outcome.counters[k])
+		}
+	}
+	if tr != nil {
+		if *traceJS {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tr.Snapshot()); err != nil {
+				fail(err)
+			}
+		} else {
+			printTraceText(os.Stdout, tr.Snapshot())
+		}
+	}
 	exit(code)
+}
+
+// printTraceText renders the flight-recorder timeline for humans.
+func printTraceText(w io.Writer, snap obs.TraceSnapshot) {
+	fmt.Fprintf(w, "trace (%d spans", snap.Total)
+	if snap.Dropped > 0 {
+		fmt.Fprintf(w, ", oldest %d dropped", snap.Dropped)
+	}
+	fmt.Fprintln(w, "):")
+	for _, sp := range snap.Spans {
+		line := fmt.Sprintf("  %4d %10.1fms  %-13s %-10s", sp.Seq, sp.ElapsedMS, sp.Kind, sp.Backend)
+		if sp.Objective != nil {
+			line += fmt.Sprintf(" obj=%.2f", *sp.Objective)
+		}
+		if sp.Detail != "" {
+			line += " " + sp.Detail
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+	}
 }
 
 // jsonReport is the -json wire format.
@@ -203,7 +264,13 @@ type jsonReport struct {
 	Order        []int     `json:"order"`
 	Names        []string  `json:"names"`
 	Curve        []curvePt `json:"curve,omitempty"`
-	ExitCode     int       `json:"exit_code"`
+	// Counters are the solving backend's engine counters (cp: nodes,
+	// fails and the prune-cause breakdown pruned_incumbent + pruned_tail
+	// + infeasible = fails; locals: steps/accepted/adopted).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Trace is the flight-recorder span timeline (-trace / -trace-json).
+	Trace    *obs.TraceSnapshot `json:"trace,omitempty"`
+	ExitCode int                `json:"exit_code"`
 }
 
 type curvePt struct {
@@ -215,7 +282,7 @@ type curvePt struct {
 
 func printJSON(in *model.Instance, c *model.Compiled, method string, order []int,
 	obj, deploy, final float64, elapsed time.Duration, outcome solveOutcome,
-	interrupted, withCurve bool, code int) {
+	interrupted, withCurve bool, code int, tr *obs.Trace) {
 	rep := jsonReport{
 		Method:       method,
 		Instance:     in.Name,
@@ -231,7 +298,12 @@ func printJSON(in *model.Instance, c *model.Compiled, method string, order []int
 		ElapsedMS:    elapsed.Milliseconds(),
 		Order:        order,
 		Names:        make([]string, len(order)),
+		Counters:     outcome.counters,
 		ExitCode:     code,
+	}
+	if tr != nil {
+		snap := tr.Snapshot()
+		rep.Trace = &snap
 	}
 	for k, ix := range order {
 		rep.Names[k] = in.Indexes[ix].Name
@@ -251,9 +323,38 @@ func printJSON(in *model.Instance, c *model.Compiled, method string, order []int
 	}
 }
 
+// recordProgressSpan mirrors one portfolio progress event into the
+// flight recorder (nil tr = tracing off).
+func recordProgressSpan(tr *obs.Trace, ev portfolio.ProgressEvent) {
+	if tr == nil {
+		return
+	}
+	switch ev.Kind {
+	case portfolio.ProgressBackendStarted:
+		tr.RecordBackend(obs.SpanBackendStart, ev.Backend, "")
+	case portfolio.ProgressImproved:
+		tr.RecordObjective(obs.SpanIncumbent, ev.Backend, ev.Objective, "")
+	case portfolio.ProgressProved:
+		tr.RecordObjective(obs.SpanProved, ev.Backend, ev.Objective, "")
+	case portfolio.ProgressBackendDone:
+		detail := ""
+		switch {
+		case ev.Skipped:
+			detail = "skipped"
+		case ev.Err != nil:
+			detail = ev.Err.Error()
+		}
+		if math.IsInf(ev.Objective, 1) {
+			tr.RecordBackend(obs.SpanBackendDone, ev.Backend, detail)
+		} else {
+			tr.RecordObjective(obs.SpanBackendDone, ev.Backend, ev.Objective, detail)
+		}
+	}
+}
+
 func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method string,
 	budget time.Duration, seed int64, workers int, solvers string,
-	params backend.Params) ([]int, solveOutcome) {
+	params backend.Params, tr *obs.Trace) ([]int, solveOutcome) {
 	switch method {
 	case "random":
 		rng := rand.New(rand.NewSource(seed))
@@ -268,11 +369,12 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			}
 		}
 		res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
-			Backends: backends,
-			Workers:  workers,
-			Budget:   budget,
-			Params:   params,
-			Seed:     seed,
+			Backends:   backends,
+			Workers:    workers,
+			Budget:     budget,
+			Params:     params,
+			Seed:       seed,
+			OnProgress: func(ev portfolio.ProgressEvent) { recordProgressSpan(tr, ev) },
 		})
 		if err != nil {
 			fail(err)
@@ -297,11 +399,17 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 					b.Name, b.Objective, b.Iterations, b.Wall.Round(time.Millisecond), b.Improvements, note)
 			}
 		}
-		return res.Order, solveOutcome{
+		oc := solveOutcome{
 			note:   fmt.Sprintf(" [winner %s]", res.Winner) + provedNote(res.Proved),
 			proved: &res.Proved,
 			winner: res.Winner,
 		}
+		for _, b := range res.Backends {
+			if b.Name == res.Winner {
+				oc.counters = b.Counters
+			}
+		}
+		return res.Order, oc
 	default:
 		// Every other method is a registered backend, run standalone with
 		// the full budget (the registry is also what -list-solvers and
@@ -316,16 +424,33 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 		info := b.Info()
 		bctx, cancel := context.WithTimeout(ctx, budget)
 		defer cancel()
-		out := b.Solve(bctx, backend.Request{
+		req := backend.Request{
 			Compiled:    c,
 			Constraints: cs,
 			Budget:      budget,
 			Seed:        seed,
 			Initial:     greedy.Solve(c, cs),
 			Params:      params,
-		})
+		}
+		if tr != nil {
+			tr.RecordBackend(obs.SpanBackendStart, method, "")
+			req.Publish = func(_ []int, obj float64) {
+				tr.RecordObjective(obs.SpanIncumbent, method, obj, "")
+			}
+		}
+		out := b.Solve(bctx, req)
 		if out.Err != nil {
 			fail(out.Err)
+		}
+		if tr != nil {
+			if info.Proves && out.Proved {
+				tr.RecordObjective(obs.SpanProved, method, out.Objective, "")
+			}
+			if math.IsInf(out.Objective, 1) {
+				tr.RecordBackend(obs.SpanBackendDone, method, "")
+			} else {
+				tr.RecordObjective(obs.SpanBackendDone, method, out.Objective, "")
+			}
 		}
 		order := out.Order
 		if order == nil {
@@ -334,7 +459,7 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			// always reports a feasible schedule.
 			order = greedy.Solve(c, cs)
 		}
-		oc := solveOutcome{workers: out.Workers}
+		oc := solveOutcome{workers: out.Workers, counters: out.Counters}
 		if info.Proves {
 			proved := out.Proved
 			oc.proved = &proved

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer. Add/Inc are single
+// atomic adds: safe from any goroutine, allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+type counterMetric struct {
+	desc
+	c *Counter
+}
+
+func (m *counterMetric) typ() string { return "counter" }
+func (m *counterMetric) samples(fn func(string, string, string, float64)) {
+	fn("", "", "", float64(m.c.Value()))
+}
+func (m *counterMetric) jsonValue() any { return m.c.Value() }
+
+// Gauge is a settable instantaneous float64 stored in atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments by delta with a CAS loop (rarely contended; gauges are
+// set from bookkeeping paths, not per-node hot loops).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type gaugeMetric struct {
+	desc
+	g *Gauge
+}
+
+func (m *gaugeMetric) typ() string { return "gauge" }
+func (m *gaugeMetric) samples(fn func(string, string, string, float64)) {
+	fn("", "", "", m.g.Value())
+}
+func (m *gaugeMetric) jsonValue() any { return m.g.Value() }
+
+type gaugeFuncMetric struct {
+	desc
+	fn func() float64
+}
+
+func (m *gaugeFuncMetric) typ() string { return "gauge" }
+func (m *gaugeFuncMetric) samples(fn func(string, string, string, float64)) {
+	fn("", "", "", m.fn())
+}
+func (m *gaugeFuncMetric) jsonValue() any { return m.fn() }
+
+// CounterVec is a counter family keyed by one label value (created on
+// first use, never removed). With takes a mutex only on the first
+// sighting of a label value; the returned child is a plain Counter the
+// caller may cache.
+type CounterVec struct {
+	label    string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Snapshot copies the family as {label value: count}.
+func (v *CounterVec) Snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.children))
+	for k, c := range v.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+type counterVecMetric struct {
+	desc
+	v *CounterVec
+}
+
+func (m *counterVecMetric) typ() string { return "counter" }
+func (m *counterVecMetric) samples(fn func(string, string, string, float64)) {
+	snap := m.v.Snapshot()
+	for _, k := range sortedKeys(snap) {
+		fn("", m.v.label, k, float64(snap[k]))
+	}
+}
+func (m *counterVecMetric) jsonValue() any { return m.v.Snapshot() }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type for the Prometheus text exposition
+// format rendered by RenderText.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format (backslash
+// and newline only; HELP text is not quoted).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format
+// (label values are double-quoted, so quotes too).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// RenderText writes the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE header per metric family
+// followed by its samples, in registration order so output is stable
+// across renders.
+func (r *Registry) RenderText(w io.Writer) error {
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m metric) {
+		if m.help() != "" {
+			write("# HELP %s %s\n", m.name(), escapeHelp(m.help()))
+		}
+		write("# TYPE %s %s\n", m.name(), m.typ())
+		m.samples(func(suffix, label, labelValue string, v float64) {
+			if label == "" {
+				write("%s%s %s\n", m.name(), suffix, formatFloat(v))
+				return
+			}
+			write("%s%s{%s=\"%s\"} %s\n", m.name(), suffix, label,
+				escapeLabelValue(labelValue), formatFloat(v))
+		})
+	})
+	return err
+}

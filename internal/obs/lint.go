@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintExposition is a promtool-free validator of Prometheus text-format
+// output (version 0.0.4). It returns a joined error describing every
+// malformation found: samples without a preceding # TYPE, invalid
+// metric or label names, unparsable values, non-cumulative histogram
+// buckets, a histogram _count disagreeing with its +Inf bucket, or a
+// declared family with no samples or HELP. Tests and the /metrics
+// endpoint's own checks run rendered output through this so a breakage
+// a real scraper would reject fails in CI first.
+func LintExposition(text string) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	types := map[string]string{} // family -> type
+	helped := map[string]bool{}  // family -> saw HELP
+	bucketLast := map[string]float64{}
+	bucketInf := map[string]float64{}
+	counts := map[string]float64{}
+	sawSample := map[string]bool{}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if !validName(parts[0]) {
+				fail("line %d: HELP for invalid name %q", lineNo, parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				fail("line %d: malformed TYPE line %q", lineNo, line)
+				continue
+			}
+			name, typ := parts[0], parts[1]
+			if !validName(name) {
+				fail("line %d: TYPE for invalid name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				fail("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("line %d: unknown comment %q", lineNo, line)
+			continue
+		}
+
+		name, labelValue, value, ok := parseSample(line)
+		if !ok {
+			fail("line %d: unparsable sample %q", lineNo, line)
+			continue
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, declared := types[family]
+		if !declared {
+			fail("line %d: sample %q without preceding # TYPE", lineNo, name)
+			continue
+		}
+		sawSample[family] = true
+		if typ == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if value < bucketLast[family] {
+					fail("line %d: non-cumulative bucket for %q: %v after %v",
+						lineNo, family, value, bucketLast[family])
+				}
+				bucketLast[family] = value
+				if labelValue == "+Inf" {
+					bucketInf[family] = value
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[family] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for family, typ := range types {
+		if !sawSample[family] {
+			fail("family %q declared but has no samples", family)
+		}
+		if !helped[family] {
+			fail("family %q has no HELP line", family)
+		}
+		if typ == "histogram" {
+			if _, ok := bucketInf[family]; !ok {
+				fail("histogram %q has no +Inf bucket", family)
+			} else if counts[family] != bucketInf[family] {
+				fail("histogram %q: _count %v != +Inf bucket %v",
+					family, counts[family], bucketInf[family])
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// parseSample splits a sample line into metric name, the le/label value
+// if any, and the numeric value.
+func parseSample(line string) (name, labelValue string, value float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, false
+	}
+	series, valStr := line[:sp], line[sp+1:]
+	v, err := parseValue(valStr)
+	if err != nil {
+		return "", "", 0, false
+	}
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", 0, false
+		}
+		name = series[:i]
+		body := series[i+1 : len(series)-1]
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return "", "", 0, false
+		}
+		labelName := body[:eq]
+		if !validName(labelName) || strings.ContainsRune(labelName, ':') {
+			return "", "", 0, false
+		}
+		quoted := body[eq+1:]
+		if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+			return "", "", 0, false
+		}
+		unescaped, err := unescapeLabelValue(quoted[1 : len(quoted)-1])
+		if err != nil {
+			return "", "", 0, false
+		}
+		labelValue = unescaped
+	} else {
+		name = series
+	}
+	if !validName(name) {
+		return "", "", 0, false
+	}
+	return name, labelValue, v, true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeLabelValue(s string) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			return "", fmt.Errorf("unescaped quote")
+		}
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("bad escape \\%c", s[i])
+		}
+	}
+	return sb.String(), nil
+}

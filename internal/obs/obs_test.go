@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("idd_test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("idd_test_gauge", "a gauge")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+	v := r.CounterVec("idd_test_wins_total", "wins", "backend")
+	v.With("cp").Add(3)
+	v.With("tabu").Inc()
+	snap := v.Snapshot()
+	if snap["cp"] != 3 || snap["tabu"] != 1 {
+		t.Fatalf("vec snapshot = %v", snap)
+	}
+}
+
+func TestRegistryPanicsOnDuplicateAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic(t, "duplicate", func() { r.Counter("dup_total", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("9starts_with_digit", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("has-dash", "") })
+	mustPanic(t, "invalid label", func() { r.CounterVec("vec_total", "", "bad-label") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	fn()
+}
+
+// TestConcurrentWriters hammers every instrument type from many
+// goroutines while a reader renders; run under -race this is the
+// registry's data-race proof.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("idd_conc_total", "")
+	g := r.Gauge("idd_conc_gauge", "")
+	h := r.Histogram("idd_conc_seconds", "", nil)
+	v := r.CounterVec("idd_conc_vec_total", "", "worker")
+	labels := []string{"a", "b", "c", "d"}
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 100)
+				v.With(labels[w%len(labels)]).Inc()
+			}
+		}(w)
+	}
+	// Concurrent readers: render + snapshot while writers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.RenderText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var vecTotal int64
+	for _, n := range v.Snapshot() {
+		vecTotal += n
+	}
+	if vecTotal != workers*perWorker {
+		t.Fatalf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	// Median interpolates to the middle of the (0,1] bucket.
+	if p50 := h.Quantile(0.5); p50 != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5", p50)
+	}
+	// Push 100 more into (1,2]: overall median sits at the 1.0 boundary.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	if p50 := h.Quantile(0.5); p50 != 1.0 {
+		t.Fatalf("p50 after second wave = %v, want 1.0", p50)
+	}
+	if p75 := h.Quantile(0.75); p75 != 1.5 {
+		t.Fatalf("p75 = %v, want 1.5", p75)
+	}
+	// Overflow values clamp to the largest finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+	// Empty histogram reports 0.
+	if got := newHistogram(nil).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// Sum accumulates.
+	h3 := newHistogram([]float64{10})
+	h3.Observe(1.5)
+	h3.Observe(2.5)
+	if got := h3.Sum(); got != 4 {
+		t.Fatalf("sum = %v, want 4", got)
+	}
+	if got := h3.Mean(); got != 2 {
+		t.Fatalf("mean = %v, want 2", got)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	mustPanic(t, "non-increasing", func() { newHistogram([]float64{1, 1}) })
+	mustPanic(t, "decreasing", func() { newHistogram([]float64{2, 1}) })
+	mustPanic(t, "explicit +Inf", func() { newHistogram([]float64{1, math.Inf(1)}) })
+}
+
+func TestRateWindowIdleThenBusy(t *testing.T) {
+	rw := NewRateWindow(64, time.Minute)
+	base := time.Now()
+	rw.start = base.Add(-24 * time.Hour) // pretend the server has been up a day
+
+	// A day of idleness then 30 events in the last 10 seconds: the
+	// lifetime average would be ~0.0003/s; the window sees 0.5/s.
+	for i := 0; i < 30; i++ {
+		rw.Mark(base.Add(-time.Duration(i) * 300 * time.Millisecond))
+	}
+	got := rw.Rate(base)
+	want := 30.0 / 60.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+
+	// Everything outside the window counts for nothing.
+	if got := rw.Rate(base.Add(2 * time.Minute)); got != 0 {
+		t.Fatalf("stale rate = %v, want 0", got)
+	}
+}
+
+func TestRateWindowFreshServer(t *testing.T) {
+	// 5 events in the 10 seconds since start: denominator is the 10s of
+	// uptime, not the full 60s window.
+	rw := NewRateWindow(16, time.Minute)
+	base := rw.start
+	for i := 0; i < 5; i++ {
+		rw.Mark(base.Add(time.Duration(i) * time.Second))
+	}
+	got := rw.Rate(base.Add(10 * time.Second))
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("fresh rate = %v, want 0.5", got)
+	}
+}
+
+func TestRateWindowCapacityOverflow(t *testing.T) {
+	rw := NewRateWindow(4, time.Minute)
+	base := rw.start
+	for i := 0; i < 10; i++ {
+		rw.Mark(base.Add(time.Duration(i) * time.Second))
+	}
+	// Only the newest 4 timestamps survive: the rate is a lower bound.
+	got := rw.Rate(base.Add(10 * time.Second))
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("overflow rate = %v, want 0.4", got)
+	}
+}
+
+func TestTraceRecordsAndOverflows(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Record(SpanQueued)
+	tr.Record(SpanStarted)
+	tr.RecordBackend(SpanBackendStart, "cp", "")
+	tr.RecordObjective(SpanIncumbent, "cp", 12.5, "")
+	snap := tr.Snapshot()
+	if snap.Total != 4 || snap.Dropped != 0 || len(snap.Spans) != 4 {
+		t.Fatalf("snapshot = total %d dropped %d spans %d", snap.Total, snap.Dropped, len(snap.Spans))
+	}
+	if snap.Spans[0].Kind != SpanQueued || snap.Spans[3].Kind != SpanIncumbent {
+		t.Fatalf("span order wrong: %+v", snap.Spans)
+	}
+	if snap.Spans[3].Objective == nil || *snap.Spans[3].Objective != 12.5 {
+		t.Fatalf("objective not recorded: %+v", snap.Spans[3])
+	}
+	for i, s := range snap.Spans {
+		if s.Seq != i+1 {
+			t.Fatalf("seq[%d] = %d", i, s.Seq)
+		}
+	}
+
+	// Overflow: oldest spans drop, newest survive with original seqs.
+	tr.RecordObjective(SpanIncumbent, "cp", 11.0, "")
+	tr.Record(SpanProved)
+	snap = tr.Snapshot()
+	if snap.Total != 6 || snap.Dropped != 2 || len(snap.Spans) != 4 {
+		t.Fatalf("overflow snapshot = total %d dropped %d spans %d", snap.Total, snap.Dropped, len(snap.Spans))
+	}
+	if snap.Spans[0].Seq != 3 || snap.Spans[3].Seq != 6 {
+		t.Fatalf("surviving seqs = %d..%d, want 3..6", snap.Spans[0].Seq, snap.Spans[3].Seq)
+	}
+	if snap.Spans[3].Kind != SpanProved {
+		t.Fatalf("tail span = %q", snap.Spans[3].Kind)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.RecordObjective(SpanIncumbent, "cp", float64(i), "")
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if snap.Total != 2000 || snap.Dropped != 2000-64 || len(snap.Spans) != 64 {
+		t.Fatalf("snapshot = total %d dropped %d spans %d", snap.Total, snap.Dropped, len(snap.Spans))
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(5)
+	snap := r.Snapshot()
+	if snap["c_total"].(int64) != 7 {
+		t.Fatalf("counter json = %v", snap["c_total"])
+	}
+	hm := snap["h_seconds"].(map[string]any)
+	if hm["count"].(int64) != 2 {
+		t.Fatalf("histogram count json = %v", hm["count"])
+	}
+	buckets := hm["buckets"].(map[string]int64)
+	if buckets["1"] != 1 || buckets["2"] != 1 || buckets["+Inf"] != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+}

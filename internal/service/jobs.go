@@ -14,6 +14,7 @@ import (
 
 	"github.com/evolving-olap/idd/internal/codec"
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/obs"
 	"github.com/evolving-olap/idd/internal/prune"
 	"github.com/evolving-olap/idd/internal/sched"
 	"github.com/evolving-olap/idd/internal/solver/backend"
@@ -116,6 +117,12 @@ type Job struct {
 	// positions; names mirrors the request's index names.
 	origOf []int
 
+	// trace is the job's flight recorder: a bounded ring of timestamped
+	// spans (queued → started → backend starts/finishes → every incumbent
+	// improvement → proved/done) served by GET /jobs/{id}/trace. It has
+	// its own lock and is written outside j.mu.
+	trace *obs.Trace
+
 	mu         sync.Mutex
 	state      string
 	events     []Event
@@ -161,6 +168,44 @@ func (j *Job) Status() JobStatus {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// TraceSnapshot returns the job's flight-recorder trace.
+func (j *Job) TraceSnapshot() obs.TraceSnapshot {
+	if j.trace == nil {
+		return obs.TraceSnapshot{Spans: []obs.Span{}}
+	}
+	return j.trace.Snapshot()
+}
+
+// recordProgress mirrors one portfolio progress event into the job's
+// trace. Unlike the SSE event stream, the trace also keeps backend
+// starts, so a replay shows when each backend began competing.
+func (j *Job) recordProgress(ev portfolio.ProgressEvent) {
+	if j.trace == nil {
+		return
+	}
+	switch ev.Kind {
+	case portfolio.ProgressBackendStarted:
+		j.trace.RecordBackend(obs.SpanBackendStart, ev.Backend, "")
+	case portfolio.ProgressImproved:
+		j.trace.RecordObjective(obs.SpanIncumbent, ev.Backend, ev.Objective, "")
+	case portfolio.ProgressProved:
+		j.trace.RecordObjective(obs.SpanProved, ev.Backend, ev.Objective, "")
+	case portfolio.ProgressBackendDone:
+		detail := ""
+		switch {
+		case ev.Skipped:
+			detail = "skipped"
+		case ev.Err != nil:
+			detail = ev.Err.Error()
+		}
+		if math.IsInf(ev.Objective, 1) {
+			j.trace.RecordBackend(obs.SpanBackendDone, ev.Backend, detail)
+		} else {
+			j.trace.RecordObjective(obs.SpanBackendDone, ev.Backend, ev.Objective, detail)
+		}
+	}
+}
+
 // translate maps a canonical-space order into this job's index space.
 func (j *Job) translate(order []int) []int {
 	out := make([]int, len(order))
@@ -179,6 +224,9 @@ func (j *Job) start(now time.Time) {
 	}
 	j.state = StateRunning
 	j.startedAt = now
+	if j.trace != nil {
+		j.trace.Record(obs.SpanStarted)
+	}
 	j.appendEvent(Event{Type: EventStarted})
 }
 
@@ -196,6 +244,16 @@ func (j *Job) finish(state string, res *SolveResult, err error) bool {
 	j.finishedAt = time.Now()
 	j.result = res
 	j.err = err
+	if j.trace != nil {
+		switch {
+		case err != nil:
+			j.trace.RecordBackend(obs.SpanError, "", err.Error())
+		case res != nil:
+			j.trace.RecordObjective(obs.SpanDone, res.Winner, res.Objective, state)
+		default:
+			j.trace.RecordBackend(obs.SpanDone, "", state)
+		}
+	}
 	ev := Event{Type: EventDone, State: state}
 	if res != nil {
 		ev.Objective = fptr(res.Objective)
@@ -290,6 +348,17 @@ func (r *run) emit(ev Event, order []int) {
 	}
 }
 
+// recordSpan mirrors one portfolio progress event into the trace of
+// every attached job. Holding r.mu keeps the span order consistent
+// across jobs, exactly like emit does for events.
+func (r *run) recordSpan(ev portfolio.ProgressEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		j.recordProgress(ev)
+	}
+}
+
 // runQueue is a max-heap on (priority, FIFO seq).
 type runQueue []*run
 
@@ -354,6 +423,7 @@ func NewManager(cfg Config) *Manager {
 		jobs:     make(map[string]*Job),
 	}
 	m.cache = newLRUCache(m.cfg.CacheSize)
+	m.metrics.bindGauges(m)
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 	for w := 0; w < m.cfg.Workers; w++ {
@@ -371,6 +441,11 @@ func (m *Manager) Metrics() MetricsSnapshot {
 	return m.metrics.snapshot(m.cfg.Workers, depth, m.cfg.QueueCap, running,
 		m.cache.len(), m.cfg.CacheSize)
 }
+
+// ObsRegistry returns the manager's metric registry (for the Prometheus
+// text rendering of GET /metrics and for embedders that want to add
+// their own instruments next to the service's).
+func (m *Manager) ObsRegistry() *obs.Registry { return m.metrics.reg }
 
 // Draining reports whether shutdown has begun.
 func (m *Manager) Draining() bool {
@@ -452,7 +527,9 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		notify:   make(chan struct{}),
 		done:     make(chan struct{}),
 		queuedAt: time.Now(),
+		trace:    obs.NewTrace(0),
 	}
+	j.trace.Record(obs.SpanQueued)
 	j.events = append(j.events, Event{Seq: 0, Type: EventQueued})
 
 	m.mu.Lock()
@@ -470,8 +547,10 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		hit.Order = j.translate(res.Order)
 		hit.CacheHit = true
 		j.start(time.Now())
+		j.trace.Record(obs.SpanCacheHit)
 		if j.finish(StateDone, &hit, nil) {
 			m.metrics.jobsCompleted.Add(1)
+			m.metrics.e2e.ObserveDuration(time.Since(j.queuedAt))
 			m.noteFinished(j.ID)
 		}
 		return j, nil
@@ -643,6 +722,7 @@ func (m *Manager) execute(r *run) {
 	}
 	now := time.Now()
 	for _, j := range jobs {
+		m.metrics.queueWait.ObserveDuration(now.Sub(j.queuedAt))
 		j.start(now)
 	}
 
@@ -679,6 +759,13 @@ func (m *Manager) execute(r *run) {
 		Params:    bag,
 		Seed:      r.params.Seed,
 		OnProgress: func(ev portfolio.ProgressEvent) {
+			r.recordSpan(ev)
+			if ev.Kind == portfolio.ProgressBackendStarted {
+				// Trace-only: the SSE event set (queued, started,
+				// incumbent, backend, proved, done) is a documented
+				// wire contract; backend starts live in the trace.
+				return
+			}
 			r.emit(progressToEvent(ev), ev.Order)
 		},
 	})
@@ -709,6 +796,7 @@ func (m *Manager) execute(r *run) {
 			Name: b.Name, Proved: b.Proved, Improvements: b.Improvements,
 			Iterations: b.Iterations, Workers: b.Workers,
 			Wall: Duration(b.Wall), Skipped: b.Skipped,
+			Counters: b.Counters,
 		}
 		if !math.IsInf(b.Objective, 1) {
 			bs.Objective = fptr(b.Objective)
@@ -735,6 +823,7 @@ func (m *Manager) execute(r *run) {
 		jr.Shared = shared
 		if j.finish(StateDone, &jr, nil) {
 			m.metrics.jobsCompleted.Add(1)
+			m.metrics.e2e.ObserveDuration(time.Since(j.queuedAt))
 			m.noteFinished(j.ID)
 		}
 	}

@@ -1,53 +1,135 @@
 package service
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"github.com/evolving-olap/idd/internal/obs"
 )
 
-// Metrics aggregates service-wide counters. Hot-path counters are
-// atomics; the per-backend win map takes a small mutex on solve
-// completion only.
+// solveRateWindow is the sliding window behind solves.per_second: long
+// enough to smooth bursts, short enough that an idle-then-busy server
+// reports its current rate instead of a lifetime average.
+const solveRateWindow = time.Minute
+
+// Metrics aggregates service-wide instruments on a per-Manager
+// obs.Registry (not the process default, so several managers — e.g.
+// test servers — never collide on metric names). Counters and
+// histograms are lock-free on the hot path; the registry renders both
+// the JSON snapshot and the Prometheus text format of GET /metrics.
 type Metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	jobsSubmitted atomic.Int64
-	jobsCompleted atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCanceled  atomic.Int64
-	jobsRejected  atomic.Int64 // queue-full 429s
+	jobsSubmitted *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCanceled  *obs.Counter
+	jobsRejected  *obs.Counter // queue-full 429s
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	attached    atomic.Int64 // single-flight joins
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	attached    *obs.Counter // single-flight joins
 
-	solves       atomic.Int64 // underlying portfolio runs executed
-	solvesProved atomic.Int64
-	solveWallNS  atomic.Int64
+	solves       *obs.Counter // underlying portfolio runs executed
+	solvesProved *obs.Counter
+	wins         *obs.CounterVec
+	rate         *obs.RateWindow
 
-	mu   sync.Mutex
-	wins map[string]int64
+	// queueWait: submission → solve start, for executed runs.
+	// solveWall: the portfolio solve itself.
+	// e2e: submission → terminal done, for every completed job
+	// (cache hits included — their near-zero latency is the point).
+	queueWait *obs.Histogram
+	solveWall *obs.Histogram
+	e2e       *obs.Histogram
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{start: time.Now(), wins: make(map[string]int64)}
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		start: time.Now(),
+		reg:   reg,
+
+		jobsSubmitted: reg.Counter("idd_jobs_submitted_total", "Jobs accepted by Submit."),
+		jobsCompleted: reg.Counter("idd_jobs_completed_total", "Jobs finished with a result."),
+		jobsFailed:    reg.Counter("idd_jobs_failed_total", "Jobs finished with an error."),
+		jobsCanceled:  reg.Counter("idd_jobs_canceled_total", "Jobs canceled before completion."),
+		jobsRejected:  reg.Counter("idd_jobs_rejected_total", "Submissions rejected because the queue was full."),
+
+		cacheHits:   reg.Counter("idd_cache_hits_total", "Jobs answered from the solution cache."),
+		cacheMisses: reg.Counter("idd_cache_misses_total", "Submissions that missed the solution cache."),
+		attached:    reg.Counter("idd_singleflight_attached_total", "Jobs that joined an identical in-flight solve."),
+
+		solves:       reg.Counter("idd_solves_total", "Underlying portfolio solves executed."),
+		solvesProved: reg.Counter("idd_solves_proved_total", "Solves that ended with an optimality proof."),
+		wins:         reg.CounterVec("idd_backend_wins_total", "Winning solves by backend.", "backend"),
+		rate:         obs.NewRateWindow(0, solveRateWindow),
+
+		queueWait: reg.Histogram("idd_queue_wait_seconds", "Time from submission to solve start.", nil),
+		solveWall: reg.Histogram("idd_solve_wall_seconds", "Wall-clock time of the portfolio solve.", nil),
+		e2e:       reg.Histogram("idd_request_duration_seconds", "Time from submission to job completion.", nil),
+	}
+	return m
+}
+
+// bindGauges registers the render-time gauges that read live Manager
+// state. Called once from NewManager, after the cache exists; the
+// closures lock mgr.mu, so no caller may render while holding it.
+func (m *Metrics) bindGauges(mgr *Manager) {
+	m.reg.GaugeFunc("idd_uptime_seconds", "Seconds since the manager started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.reg.GaugeFunc("idd_workers", "Size of the solve worker pool.",
+		func() float64 { return float64(mgr.cfg.Workers) })
+	m.reg.GaugeFunc("idd_queue_depth", "Runs queued but not yet executing.",
+		func() float64 {
+			mgr.mu.Lock()
+			defer mgr.mu.Unlock()
+			return float64(len(mgr.queue))
+		})
+	m.reg.GaugeFunc("idd_jobs_running", "Runs currently executing.",
+		func() float64 {
+			mgr.mu.Lock()
+			defer mgr.mu.Unlock()
+			return float64(mgr.running)
+		})
+	m.reg.GaugeFunc("idd_cache_entries", "Entries in the solution cache.",
+		func() float64 { return float64(mgr.cache.len()) })
 }
 
 func (m *Metrics) recordSolve(winner string, proved bool, wall time.Duration) {
-	m.solves.Add(1)
+	m.solves.Inc()
+	m.rate.Mark(time.Now())
+	m.solveWall.ObserveDuration(wall)
 	if proved {
-		m.solvesProved.Add(1)
+		m.solvesProved.Inc()
 	}
-	m.solveWallNS.Add(int64(wall))
 	if winner != "" {
-		m.mu.Lock()
-		m.wins[winner]++
-		m.mu.Unlock()
+		m.wins.With(winner).Inc()
 	}
 }
 
-// MetricsSnapshot is the wire form of GET /metrics.
+// LatencySummary is the JSON digest of one latency histogram. The
+// quantiles are estimated from the fixed exposition buckets (the same
+// numbers a PromQL histogram_quantile over the text format would give).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMS: h.Mean() * 1e3,
+		P50MS:  h.Quantile(0.50) * 1e3,
+		P95MS:  h.Quantile(0.95) * 1e3,
+		P99MS:  h.Quantile(0.99) * 1e3,
+	}
+}
+
+// MetricsSnapshot is the JSON wire form of GET /metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Workers       int     `json:"workers"`
@@ -76,52 +158,57 @@ type MetricsSnapshot struct {
 	SingleFlightAttached int64 `json:"singleflight_attached"`
 
 	Solves struct {
-		Count       int64            `json:"count"`
-		Proved      int64            `json:"proved"`
+		Count  int64 `json:"count"`
+		Proved int64 `json:"proved"`
+		// PerSecond is the solve rate over the last minute (sliding
+		// window), not a lifetime average — an idle-then-busy server
+		// reports its current rate.
 		PerSecond   float64          `json:"per_second"`
 		AvgWallMS   float64          `json:"avg_wall_ms"`
 		BackendWins map[string]int64 `json:"backend_wins"`
 	} `json:"solves"`
+
+	Latency struct {
+		QueueWait LatencySummary `json:"queue_wait"`
+		SolveWall LatencySummary `json:"solve_wall"`
+		E2E       LatencySummary `json:"e2e"`
+	} `json:"latency"`
 }
 
 func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, cacheCap int) MetricsSnapshot {
 	var s MetricsSnapshot
-	up := time.Since(m.start)
-	s.UptimeSeconds = up.Seconds()
+	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Workers = workers
 	s.QueueDepth = queueDepth
 	s.QueueCap = queueCap
 	s.Running = running
 
-	s.Jobs.Submitted = m.jobsSubmitted.Load()
-	s.Jobs.Completed = m.jobsCompleted.Load()
-	s.Jobs.Failed = m.jobsFailed.Load()
-	s.Jobs.Canceled = m.jobsCanceled.Load()
-	s.Jobs.Rejected = m.jobsRejected.Load()
+	s.Jobs.Submitted = m.jobsSubmitted.Value()
+	s.Jobs.Completed = m.jobsCompleted.Value()
+	s.Jobs.Failed = m.jobsFailed.Value()
+	s.Jobs.Canceled = m.jobsCanceled.Value()
+	s.Jobs.Rejected = m.jobsRejected.Value()
 
-	s.Cache.Hits = m.cacheHits.Load()
-	s.Cache.Misses = m.cacheMisses.Load()
+	s.Cache.Hits = m.cacheHits.Value()
+	s.Cache.Misses = m.cacheMisses.Value()
 	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
 		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
 	}
 	s.Cache.Size = cacheSize
 	s.Cache.Cap = cacheCap
 
-	s.SingleFlightAttached = m.attached.Load()
+	s.SingleFlightAttached = m.attached.Value()
 
-	s.Solves.Count = m.solves.Load()
-	s.Solves.Proved = m.solvesProved.Load()
-	if up > 0 {
-		s.Solves.PerSecond = float64(s.Solves.Count) / up.Seconds()
-	}
+	s.Solves.Count = m.solves.Value()
+	s.Solves.Proved = m.solvesProved.Value()
+	s.Solves.PerSecond = m.rate.Rate(time.Now())
 	if s.Solves.Count > 0 {
-		s.Solves.AvgWallMS = float64(m.solveWallNS.Load()) / float64(s.Solves.Count) / 1e6
+		s.Solves.AvgWallMS = m.solveWall.Mean() * 1e3
 	}
-	s.Solves.BackendWins = make(map[string]int64)
-	m.mu.Lock()
-	for k, v := range m.wins {
-		s.Solves.BackendWins[k] = v
-	}
-	m.mu.Unlock()
+	s.Solves.BackendWins = m.wins.Snapshot()
+
+	s.Latency.QueueWait = summarize(m.queueWait)
+	s.Latency.SolveWall = summarize(m.solveWall)
+	s.Latency.E2E = summarize(m.e2e)
 	return s
 }

@@ -14,6 +14,7 @@ import (
 
 	"github.com/evolving-olap/idd/internal/codec"
 	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/obs"
 	"github.com/evolving-olap/idd/internal/solver/backend"
 )
 
@@ -33,6 +34,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -286,6 +288,30 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// JobTrace is the wire form of GET /jobs/{id}/trace: the job's
+// flight-recorder snapshot plus enough identity to read it standalone.
+type JobTrace struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	obs.TraceSnapshot
+}
+
+// handleJobTrace returns the job's flight-recorder trace: every span
+// from queued to done, including per-backend starts (which the SSE
+// stream omits) and every incumbent improvement with its objective.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, JobTrace{
+		ID:            j.ID,
+		State:         j.Status().State,
+		TraceSnapshot: j.TraceSnapshot(),
+	})
+}
+
 // handleJobEvents streams the job's progress as server-sent events:
 // replayed from the beginning (or from Last-Event-ID / ?from=<seq>),
 // then live until the terminal done event closes the stream.
@@ -409,6 +435,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the JSON snapshot by default and the Prometheus
+// text exposition format when the client asks for it — either
+// ?format=prometheus or an Accept header naming text/plain or
+// openmetrics (what a Prometheus scraper sends).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	accept := r.Header.Get("Accept")
+	wantText := r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+	if wantText {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.m.ObsRegistry().RenderText(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.m.Metrics())
 }

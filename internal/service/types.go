@@ -7,6 +7,11 @@
 // solve); and per-job server-sent event streams relaying every incumbent
 // improvement as the portfolio finds it.
 //
+// Observability is built on internal/obs: every job carries a bounded
+// flight-recorder trace of timestamped spans, and the manager keeps
+// Prometheus-convention counters and latency histograms (queue wait,
+// solve wall, end-to-end) on a per-manager registry.
+//
 // Endpoints (see cmd/iddserver and the README for the wire details):
 //
 //	POST   /solve            solve synchronously (small instances)
@@ -14,9 +19,11 @@
 //	GET    /jobs/{id}        job status + result when finished
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	GET    /jobs/{id}/events server-sent events: incumbent progress
+//	GET    /jobs/{id}/trace  flight-recorder span timeline of the solve
 //	GET    /solvers          registered backends + declared param specs
 //	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          queue/cache/backend counters (JSON)
+//	GET    /metrics          JSON snapshot, or Prometheus text with
+//	                         ?format=prometheus / Accept: text/plain
 package service
 
 import (
@@ -116,6 +123,11 @@ type BackendSummary struct {
 	Wall    Duration `json:"wall,omitempty"`
 	Error   string   `json:"error,omitempty"`
 	Skipped bool     `json:"skipped,omitempty"`
+	// Counters are the backend's engine counters under stable snake_case
+	// keys — e.g. cp's prune-cause breakdown (pruned_incumbent,
+	// pruned_tail, infeasible — summing to fails) and the local searches'
+	// steps/accepted/adopted.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // SolveResult is the outcome of one solve, in the coordinate space of

@@ -139,6 +139,15 @@ type Outcome struct {
 	// Workers reports internal parallelism the backend actually ran
 	// (0 = not reported, 1 = serial). Telemetry for param plumbing.
 	Workers int
+	// Counters is the backend's effort breakdown by named cause (nil =
+	// none reported). Keys are backend-specific but snake_case and
+	// stable; the CP engine reports its prune-cause split
+	// (pruned_incumbent / pruned_tail / infeasible, summing to fails),
+	// steal traffic, and incumbent offer/accept counts, the local
+	// searches report steps/accepted/adopted. Surfaced verbatim through
+	// portfolio.BackendResult, iddsolve -json, and the service's
+	// BackendSummary.
+	Counters map[string]int64
 	// Err reports a backend that refused or failed the instance.
 	Err error
 }

@@ -128,6 +128,68 @@ type Result struct {
 	// Workers reports how many workers actually ran (1 for the serial
 	// engine).
 	Workers int
+	// Stats breaks the search effort down by cause.
+	Stats Stats
+}
+
+// Stats is the per-solve effort breakdown. Counters are accumulated as
+// plain ints in per-worker scratch (no atomics, no allocations on the
+// descent path) and merged once per solve, so instrumentation is free
+// at node granularity. Invariant: PrunedBound + PrunedTail + Infeasible
+// == Result.Fails — every dead end has exactly one recorded cause.
+type Stats struct {
+	// PrunedBound counts nodes cut because even the most optimistic
+	// completion could not beat the incumbent objective.
+	PrunedBound int64
+	// PrunedTail counts nodes cut by the exact tail-completion bound
+	// (prune.TailBound) near the leaves.
+	PrunedTail int64
+	// Infeasible counts dead ends with no feasible candidate: a missed
+	// position window, a double-booked last slot, or an empty ready set.
+	Infeasible int64
+	// Offers counts improving solutions offered to the (shared)
+	// incumbent; Accepts counts the offers that won. They differ only in
+	// parallel mode, where a concurrent better offer can race ahead.
+	Offers, Accepts int64
+	// StealAttempts counts probes of victim deques by out-of-work
+	// workers; Steals counts the probes that returned a subproblem.
+	StealAttempts, Steals int64
+	// MaxDeque is the high-water mark of any single worker deque (0 for
+	// the serial engine): how bushy the donated frontier got.
+	MaxDeque int64
+}
+
+// Counters renders the result's effort breakdown as the flat named map
+// the backend registry reports (see backend.Outcome.Counters). Built
+// once per solve, after the search — never on the descent path.
+func (r Result) Counters() map[string]int64 {
+	return map[string]int64{
+		"nodes":            r.Nodes,
+		"fails":            r.Fails,
+		"solutions":        int64(r.Solutions),
+		"pruned_incumbent": r.Stats.PrunedBound,
+		"pruned_tail":      r.Stats.PrunedTail,
+		"infeasible":       r.Stats.Infeasible,
+		"offers":           r.Stats.Offers,
+		"accepts":          r.Stats.Accepts,
+		"steal_attempts":   r.Stats.StealAttempts,
+		"steals":           r.Stats.Steals,
+		"max_deque_depth":  r.Stats.MaxDeque,
+	}
+}
+
+// add folds o into s (used when merging per-worker scratch).
+func (s *Stats) add(o *Stats) {
+	s.PrunedBound += o.PrunedBound
+	s.PrunedTail += o.PrunedTail
+	s.Infeasible += o.Infeasible
+	s.Offers += o.Offers
+	s.Accepts += o.Accepts
+	s.StealAttempts += o.StealAttempts
+	s.Steals += o.Steals
+	if o.MaxDeque > s.MaxDeque {
+		s.MaxDeque = o.MaxDeque
+	}
 }
 
 // pollStride is how many nodes a worker expands between checks of the
@@ -177,8 +239,13 @@ type searcher struct {
 	nodes     int64
 	fails     int64
 	solutions int
-	aborted   bool
-	poll      int // countdown to the next deadline/context poll
+	// st is this worker's private effort breakdown: plain ints bumped on
+	// the descent path (same cost model as nodes/fails) and merged into
+	// the solve-wide Stats exactly once, so the alloc/atomic budget of
+	// the hot loop is untouched by instrumentation.
+	st      Stats
+	aborted bool
+	poll    int // countdown to the next deadline/context poll
 
 	// Parallel-mode hookup (nil for the serial engine): the shared run
 	// state, this worker's id, high-water marks of the effort already
@@ -264,6 +331,7 @@ func Solve(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		Fails:     s.fails,
 		Solutions: s.solutions,
 		Workers:   1,
+		Stats:     s.st,
 	}
 }
 
@@ -311,8 +379,15 @@ func (s *searcher) dfs(k int) bool {
 	if k == n {
 		obj := s.w.Objective()
 		if s.par != nil {
-			if s.par.inc.offer(s.order, obj) {
-				s.solutions++
+			// The snapshot check mirrors offer's own fast path, so gating
+			// here changes nothing except that Offers counts only genuine
+			// improvement attempts, not every completed leaf.
+			if obj < s.par.inc.objective()-1e-12 {
+				s.st.Offers++
+				if s.par.inc.offer(s.order, obj) {
+					s.solutions++
+					s.st.Accepts++
+				}
 			}
 			return true
 		}
@@ -320,6 +395,8 @@ func (s *searcher) dfs(k int) bool {
 			s.bestObj = obj
 			s.best = append(s.best[:0], s.order[:n]...)
 			s.solutions++
+			s.st.Offers++
+			s.st.Accepts++
 			if s.opt.OnSolution != nil {
 				s.cbBuf = append(s.cbBuf[:0], s.best...)
 				s.opt.OnSolution(s.cbBuf, obj)
@@ -345,10 +422,12 @@ func (s *searcher) dfs(k int) bool {
 	if !s.opt.NoBound && !math.IsInf(ub, 1) {
 		if s.boundBelow() >= ub-1e-12 {
 			s.fails++
+			s.st.PrunedBound++
 			return true
 		}
 		if s.tailPruned(k, ub) {
 			s.fails++
+			s.st.PrunedTail++
 			return true
 		}
 	}
@@ -356,6 +435,7 @@ func (s *searcher) dfs(k int) bool {
 	cands := s.candidates(k)
 	if cands == nil {
 		s.fails++
+		s.st.Infeasible++
 		return true
 	}
 	if s.par != nil && k < s.par.splitDepth && len(cands) > 1 {

@@ -70,11 +70,18 @@ func (s *searcher) putFrame(sp *subproblem) {
 type deque struct {
 	mu sync.Mutex
 	q  []*subproblem
+	// maxDepth is the deque's high-water mark, maintained under the mutex
+	// pushBack already holds; solveParallel reads it after the workers
+	// join, so no extra synchronization is needed.
+	maxDepth int
 }
 
 func (d *deque) pushBack(sp *subproblem) {
 	d.mu.Lock()
 	d.q = append(d.q, sp)
+	if len(d.q) > d.maxDepth {
+		d.maxDepth = len(d.q)
+	}
 	d.mu.Unlock()
 }
 
@@ -189,6 +196,12 @@ type parRun struct {
 	fails     atomic.Int64
 	solutions atomic.Int64
 
+	// Merged per-worker Stats. Workers fold their private scratch in
+	// exactly once, on exit (stats never gate limits, so unlike
+	// nodes/fails they need no mid-solve flushes).
+	stMu sync.Mutex
+	st   Stats
+
 	// Parking lot for idle workers. workSeq increments on every spawn so
 	// a sweep-then-park thief cannot miss a wakeup: it re-checks the
 	// sequence under the lock before sleeping.
@@ -293,6 +306,9 @@ func (s *searcher) flushCounters() {
 	s.par.fails.Add(s.fails - s.flushedFails)
 	s.par.solutions.Add(int64(s.solutions))
 	s.flushedNodes, s.flushedFails = s.nodes, s.fails
+	s.par.stMu.Lock()
+	s.par.st.add(&s.st)
+	s.par.stMu.Unlock()
 }
 
 // findWork steals a subproblem for an out-of-work worker, or parks it
@@ -300,7 +316,7 @@ func (s *searcher) flushCounters() {
 // over (frontier drained or aborted). Only the caller's own goroutine
 // ever pushes to its deque, so while it is here its deque stays empty —
 // stealing from victims is the only source of work.
-func (r *parRun) findWork(wid int, rng *uint64) *subproblem {
+func (r *parRun) findWork(s *searcher, rng *uint64) *subproblem {
 	for {
 		r.mu.Lock()
 		seq := r.workSeq
@@ -314,10 +330,12 @@ func (r *parRun) findWork(wid int, rng *uint64) *subproblem {
 		off := int(xorshift(rng) % uint64(len(r.deques)))
 		for t := 0; t < len(r.deques); t++ {
 			v := (off + t) % len(r.deques)
-			if v == wid {
+			if v == s.wid {
 				continue
 			}
+			s.st.StealAttempts++
 			if sp := r.deques[v].stealFront(); sp != nil {
+				s.st.Steals++
 				return sp
 			}
 		}
@@ -355,7 +373,7 @@ func (r *parRun) worker(wid int, wg *sync.WaitGroup) {
 	for {
 		sp := r.deques[wid].popBack()
 		if sp == nil {
-			sp = r.findWork(wid, &rng)
+			sp = r.findWork(s, &rng)
 		}
 		if sp == nil {
 			return
@@ -413,6 +431,12 @@ func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	wg.Wait()
 
 	order, obj := r.inc.best()
+	st := r.st // all workers joined: their flushCounters merges are visible
+	for _, d := range r.deques {
+		if int64(d.maxDepth) > st.MaxDeque {
+			st.MaxDeque = int64(d.maxDepth)
+		}
+	}
 	return Result{
 		Order:     order,
 		Objective: obj,
@@ -421,6 +445,7 @@ func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		Fails:     r.fails.Load(),
 		Solutions: int(r.solutions.Load()),
 		Workers:   workers,
+		Stats:     st,
 	}
 }
 

@@ -72,5 +72,6 @@ func (asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome
 	return backend.Outcome{
 		Order: res.Order, Objective: res.Objective,
 		Proved: res.Proved, Iterations: res.Nodes, Workers: res.Workers,
+		Counters: res.Counters(),
 	}
 }

@@ -36,6 +36,7 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	temp := 0.005 * curObj / 0.22
 	const cooling = 0.999
 
+	var accepted int64
 	for !b.exhausted() {
 		if ext, _, adopted := tr.adopt(&opt, cur, curObj); adopted {
 			e.SetOrder(ext)
@@ -62,6 +63,7 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		delta := obj - curObj
 		if delta <= 0 || opt.Rng.Float64() < math.Exp(-delta/temp) {
 			e.Apply()
+			accepted++
 			curObj = obj
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
@@ -77,7 +79,8 @@ func Anneal(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 			temp = 0.001 * curObj
 		}
 	}
-	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps,
+		Accepted: accepted, Adopted: tr.adopted}
 }
 
 // InsertSearch runs steepest-descent over the single-index re-insertion
@@ -96,6 +99,7 @@ func InsertSearch(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	tr := &tracker{b: b, onImprove: opt.OnImprove}
 	tr.record(cur, curObj)
 
+	var accepted int64
 	improved := true
 	for improved && !b.exhausted() {
 		improved = false
@@ -113,10 +117,12 @@ func InsertSearch(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		if bestFrom >= 0 {
 			e.Insert(bestFrom, bestTo)
 			e.Apply()
+			accepted++
 			curObj = e.Objective()
 			tr.record(cur, curObj)
 			improved = true
 		}
 	}
-	return Result{Order: e.Order(), Objective: curObj, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: e.Order(), Objective: curObj, Traj: tr.traj, Steps: b.steps,
+		Accepted: accepted, Adopted: tr.adopted}
 }

@@ -33,6 +33,7 @@ func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	}
 	size := max(2, int(relax*float64(c.N)+0.5))
 
+	var accepted int64
 	for !b.exhausted() {
 		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
 		improved, impObj, _, nodes := relaxAndSolve(c, cs, cur, curObj, size, failLimit, b, opt)
@@ -40,12 +41,14 @@ func LNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		if improved != nil {
 			cur = improved
 			curObj = impObj // the CP engine's exact walker objective; no re-replay
+			accepted++
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
 			}
 		}
 	}
-	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps,
+		Accepted: accepted, Adopted: tr.adopted}
 }
 
 // relaxAndSolve performs one LNS iteration: pick `size` random indexes,

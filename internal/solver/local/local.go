@@ -80,6 +80,14 @@ type Result struct {
 	Objective float64
 	Traj      Trajectory
 	Steps     int64
+	// Accepted counts moves the search committed: applied swap/insert
+	// moves for Tabu and annealing (including worsening escape moves),
+	// improving relaxations for LNS/VNS. Steps - Accepted is the
+	// rejected/evaluated-only effort.
+	Accepted int64
+	// Adopted counts portfolio incumbents this search imported through
+	// Options.Incumbent (they never appear in Traj, per its contract).
+	Adopted int64
 }
 
 // budgetTracker enforces Options.Budget / Options.MaxSteps / Options.Context.
@@ -134,6 +142,7 @@ type tracker struct {
 	b         *budgetTracker
 	traj      Trajectory
 	best      float64
+	adopted   int64
 	onImprove func(order []int, objective float64)
 }
 
@@ -156,6 +165,7 @@ func (t *tracker) adopt(opt *Options, cur []int, curObj float64) ([]int, float64
 		return cur, curObj, false
 	}
 	t.best = extObj
+	t.adopted++
 	return ext, extObj, true
 }
 

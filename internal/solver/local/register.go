@@ -66,5 +66,11 @@ func (s asBackend) Solve(ctx context.Context, req backend.Request) backend.Outco
 		Incumbent: req.Incumbent,
 		OnImprove: req.Publish,
 	})
-	return backend.Outcome{Order: res.Order, Objective: res.Objective, Iterations: res.Steps}
+	return backend.Outcome{Order: res.Order, Objective: res.Objective, Iterations: res.Steps,
+		Counters: map[string]int64{
+			"steps":        res.Steps,
+			"accepted":     res.Accepted,
+			"adopted":      res.Adopted,
+			"improvements": int64(len(res.Traj)),
+		}}
 }

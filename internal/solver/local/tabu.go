@@ -46,6 +46,7 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 	// tabuUntil[i] = iteration until which moving index i is forbidden.
 	tabuUntil := make([]int, n)
 
+	var accepted int64
 	for iter := 1; !b.exhausted(); iter++ {
 		if ext, _, adopted := tr.adopt(&opt, cur, curObj); adopted {
 			e.SetOrder(ext)
@@ -82,6 +83,7 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 		ia, ib := cur[bestA], cur[bestB]
 		e.Swap(bestA, bestB)
 		e.Apply()
+		accepted++
 		curObj = e.Objective() // exact by construction; no delta drift
 		tabuUntil[ia] = iter + tenure
 		tabuUntil[ib] = iter + tenure
@@ -90,7 +92,8 @@ func tabu(c *model.Compiled, cs *constraint.Set, opt Options, firstImprove bool)
 			copy(best, cur)
 		}
 	}
-	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: best, Objective: tr.best, Traj: tr.traj, Steps: b.steps,
+		Accepted: accepted, Adopted: tr.adopted}
 }
 
 func max(a, b int) int {

@@ -36,6 +36,7 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	size := max(2, c.N/50) // start with a small neighborhood (~2%)
 	grow := max(1, c.N/100)
 
+	var accepted int64
 	proofs, tried := 0, 0
 	for !b.exhausted() {
 		cur, curObj, _ = tr.adopt(&opt, cur, curObj)
@@ -48,6 +49,7 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		if improved != nil {
 			cur = improved
 			curObj = impObj // the CP engine's exact walker objective; no re-replay
+			accepted++
 			if curObj < tr.best-1e-12 {
 				tr.record(cur, curObj)
 			}
@@ -69,5 +71,6 @@ func VNS(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 			proofs, tried = 0, 0
 		}
 	}
-	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps}
+	return Result{Order: cur, Objective: curObj, Traj: tr.traj, Steps: b.steps,
+		Accepted: accepted, Adopted: tr.adopted}
 }

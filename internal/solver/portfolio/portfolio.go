@@ -176,8 +176,9 @@ type Options struct {
 	// objective can arrive after a fresher one.
 	OnImprove func(backend string, order []int, objective float64)
 	// OnProgress, when non-nil, observes the full anytime progress of the
-	// run: every incumbent improvement, every backend completion, and the
-	// optimality proof if one lands. It is invoked from backend worker
+	// run: every backend start, every incumbent improvement, every
+	// backend completion, and the optimality proof if one lands. It is
+	// invoked from backend worker
 	// goroutines and must be safe for concurrent use; event order between
 	// goroutines is not synchronized (see OnImprove). The solve service
 	// turns this stream into server-sent events.
@@ -197,6 +198,10 @@ const (
 	// ProgressProved: an exact backend proved the shared incumbent
 	// optimal. Order and Objective carry the proved incumbent.
 	ProgressProved
+	// ProgressBackendStarted: a backend is about to run (never emitted
+	// for skipped backends). Declared after the original kinds so their
+	// wire values are unchanged.
+	ProgressBackendStarted
 )
 
 func (k ProgressKind) String() string {
@@ -207,6 +212,8 @@ func (k ProgressKind) String() string {
 		return "backend-done"
 	case ProgressProved:
 		return "proved"
+	case ProgressBackendStarted:
+		return "backend-start"
 	default:
 		return "unknown"
 	}
@@ -252,6 +259,11 @@ type BackendResult struct {
 	// (cp's branch-and-bound goroutines; 0 = not reported). This is the
 	// telemetry that proves a "cp.workers" param reached the engine.
 	Workers int
+	// Counters is the backend's own effort breakdown (nil when the
+	// backend reports none): cp's prune-cause split and steal traffic,
+	// the local searches' accepted/adopted move counts. Passed through
+	// verbatim from backend.Outcome.Counters.
+	Counters map[string]int64
 	// Wall is the backend's own wall-clock time.
 	Wall time.Duration
 	// Err reports a backend that refused or failed the instance (e.g.
@@ -443,6 +455,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 					Incumbent:   sh.BetterThan,
 					Bound:       sh.Objective,
 				}
+				emit(ProgressEvent{Kind: ProgressBackendStarted, Backend: name,
+					Objective: sh.Objective()})
 				start := time.Now()
 				out := b.Solve(bctx, req)
 				bcancel()
@@ -455,6 +469,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				br.Proved = out.Proved && exact
 				br.Iterations = out.Iterations
 				br.Workers = out.Workers
+				br.Counters = out.Counters
 				br.Err = out.Err
 				if out.Order != nil {
 					publish(out.Order, out.Objective)
@@ -497,6 +512,8 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 				fbr.Improvements++
 				improved(fname, o, obj)
 			}
+			emit(ProgressEvent{Kind: ProgressBackendStarted, Backend: fname,
+				Objective: sh.Objective()})
 			fstart := time.Now()
 			// Seed is Options.Seed alone (not a per-backend mix) so the
 			// finisher walks the same trajectory a standalone run of the
@@ -519,6 +536,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 			fbr.Objective = fout.Objective
 			fbr.Iterations = fout.Iterations
 			fbr.Workers = fout.Workers
+			fbr.Counters = fout.Counters
 			fbr.Wall = time.Since(fstart)
 			results = append(results, fbr)
 			emit(ProgressEvent{Kind: ProgressBackendDone, Backend: fname,

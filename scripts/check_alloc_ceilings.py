@@ -26,6 +26,10 @@ CEILINGS = {
     "BenchmarkCPParallel_ProofN20Low_W1": 500,
     "BenchmarkCPParallel_ProofN20Low_W2": 1_500,
     "BenchmarkCPParallel_ProofN20Low_W8": 5_000,
+    # Fully instrumented 4-worker proof: search Stats, an OnSolution
+    # callback and a per-node ExternalBound poll all live. Same budget
+    # scaling as the plain W>1 runs — observability must not allocate.
+    "BenchmarkCPParallel_ProofN20Low_W4Instrumented": 3_000,
     "BenchmarkCPParallel_TPCH31Nodes_W1": 500,
     "BenchmarkCPParallel_TPCH31Nodes_W8": 5_000,
 }

@@ -55,6 +55,34 @@ test -n "$job_id"
 curl -sf --max-time 30 "http://$addr/jobs/$job_id/events" > "$workdir/events.txt"
 grep -q '^event: done' "$workdir/events.txt"
 
+# Flight recorder: a distinct solve (different budget => different cache
+# key) must leave a trace that replays the full span timeline, including
+# a non-empty incumbent curve with objectives.
+job2_id=$(printf '{"instance": %s, "budget": "19s"}' "$(cat "$workdir/r12.json")" |
+  curl -sf -X POST -H 'Content-Type: application/json' --data-binary @- \
+    "http://$addr/jobs" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
+test -n "$job2_id"
+curl -sf --max-time 30 "http://$addr/jobs/$job2_id/events" > /dev/null # returns at terminal event
+curl -sf "http://$addr/jobs/$job2_id/trace" > "$workdir/trace.json"
+grep -q '"kind": "queued"' "$workdir/trace.json"
+grep -q '"kind": "started"' "$workdir/trace.json"
+grep -q '"kind": "backend-start"' "$workdir/trace.json"
+grep -q '"kind": "incumbent"' "$workdir/trace.json"
+grep -q '"kind": "done"' "$workdir/trace.json"
+grep -q '"objective"' "$workdir/trace.json"
+
+# The same /metrics endpoint speaks the Prometheus text exposition format
+# when asked, with well-formed histogram series.
+curl -sf -H 'Accept: text/plain' "http://$addr/metrics" > "$workdir/metrics.prom"
+grep -q '^# TYPE idd_queue_wait_seconds histogram$' "$workdir/metrics.prom"
+grep -q '^# TYPE idd_solve_wall_seconds histogram$' "$workdir/metrics.prom"
+grep -q '^# TYPE idd_request_duration_seconds histogram$' "$workdir/metrics.prom"
+grep -q '^idd_solves_total 2$' "$workdir/metrics.prom"
+grep -q 'idd_solve_wall_seconds_bucket{le="+Inf"} 2' "$workdir/metrics.prom"
+grep -q '^idd_backend_wins_total{backend=' "$workdir/metrics.prom"
+# Two sync cache hits plus the async resubmission of the same request.
+grep -q '^idd_cache_hits_total 3$' "$workdir/metrics.prom"
+
 # Graceful shutdown on SIGTERM.
 kill -TERM "$server_pid"
 wait "$server_pid"
