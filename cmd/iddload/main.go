@@ -1,0 +1,380 @@
+// Command iddload is an open-loop load generator for iddserver: it
+// fires a Poisson stream of mixed-size solve requests across a set of
+// tenants and reports solves/sec, error rate, and p50/p99 latency per
+// size class — the serving-side counterpart of iddbench.
+//
+// Arrivals are open-loop: each request is dispatched at its scheduled
+// instant regardless of how many are still outstanding, so a slow
+// server shows up as latency (and eventually 429s), never as a
+// politely reduced offered load. The schedule — arrival times, sizes,
+// tenants, instance seeds — is derived deterministically from -seed, so
+// two runs offer byte-identical workloads.
+//
+// Modes:
+//
+//	iddload -addr http://host:8080        drive a live server
+//	iddload                               serve in-process (no network)
+//	iddload -compare-routing              in-process, run the identical
+//	                                      schedule twice: fast-path
+//	                                      routing on, then disabled —
+//	                                      the BENCH_serve.json protocol
+//
+// The -json report stamps cpus/gomaxprocs so checked-in numbers stay
+// honest across runners; see scripts/bench.sh --section serve.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/service"
+)
+
+type arrival struct {
+	at     time.Duration // offset from run start
+	class  string        // "small" | "medium"
+	tenant string
+	in     *model.Instance
+}
+
+// schedule generates the deterministic open-loop workload: exponential
+// inter-arrivals at -rate, size class by -small-frac, tenant uniform,
+// one freshly generated instance per request (distinct seeds, so the
+// solution cache cannot trivialize the run).
+func schedule(seed int64, rate float64, duration time.Duration, smallFrac float64, tenants int) []arrival {
+	rng := rand.New(rand.NewSource(seed))
+	var out []arrival
+	var t float64
+	for i := 0; ; i++ {
+		t += rng.ExpFloat64() / rate
+		at := time.Duration(t * float64(time.Second))
+		if at >= duration {
+			return out
+		}
+		class, n := "small", 5+rng.Intn(8) // 5..12: inside the fast-path window
+		if rng.Float64() >= smallFrac {
+			class, n = "medium", 14+rng.Intn(5) // 14..18: always a portfolio race
+		}
+		cfg := randgen.DefaultConfig()
+		cfg.Indexes = n
+		cfg.Queries = 3 + (3*n)/4
+		out = append(out, arrival{
+			at:     at,
+			class:  class,
+			tenant: fmt.Sprintf("tenant-%d", rng.Intn(tenants)),
+			in:     randgen.New(rand.New(rand.NewSource(seed<<20+int64(i))), cfg),
+		})
+	}
+}
+
+type sample struct {
+	class   string
+	latency time.Duration
+	routed  bool
+	cached  bool
+	err     string
+}
+
+// classStats is the per-size-class slice of a run report.
+type classStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Routed   int     `json:"routed"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+type runReport struct {
+	Name         string                `json:"name"`
+	Requests     int                   `json:"requests"`
+	Errors       int                   `json:"errors"`
+	ErrorRate    float64               `json:"error_rate"`
+	SolvesPerSec float64               `json:"solves_per_sec"`
+	P50Ms        float64               `json:"p50_ms"`
+	P99Ms        float64               `json:"p99_ms"`
+	Routed       int                   `json:"routed"`
+	CacheHits    int                   `json:"cache_hits"`
+	WallS        float64               `json:"wall_s"`
+	Classes      map[string]classStats `json:"classes"`
+	SampleErrors []string              `json:"sample_errors,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string      `json:"generated_by"`
+	CPUs        int         `json:"cpus"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Rate        float64     `json:"rate_per_sec"`
+	DurationS   float64     `json:"duration_s"`
+	Tenants     int         `json:"tenants"`
+	SmallFrac   float64     `json:"small_frac"`
+	Budget      string      `json:"budget"`
+	Seed        int64       `json:"seed"`
+	Runs        []runReport `json:"runs"`
+	// Comparison is present for -compare-routing runs: the small-class
+	// fast-path win over portfolio-only routing, same schedule, same
+	// process, same hardware.
+	Comparison *comparison `json:"comparison,omitempty"`
+}
+
+type comparison struct {
+	SmallP99RatioPortfolioOverFastpath float64 `json:"small_p99_ratio_portfolio_over_fastpath"`
+	SmallP50RatioPortfolioOverFastpath float64 `json:"small_p50_ratio_portfolio_over_fastpath"`
+	SolvesPerSecFastpath               float64 `json:"solves_per_sec_fastpath"`
+	SolvesPerSecPortfolioOnly          float64 `json:"solves_per_sec_portfolio_only"`
+}
+
+func percentile(ms []float64, p float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(ms)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return ms[i]
+}
+
+// drive replays the schedule against base, open-loop, and folds the
+// responses into a runReport.
+func drive(name, base string, arrivals []arrival, budget time.Duration) runReport {
+	client := &http.Client{}
+	samples := make([]sample, len(arrivals))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range arrivals {
+		a := arrivals[i]
+		if d := a.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, a arrival) {
+			defer wg.Done()
+			s := sample{class: a.class}
+			body, err := json.Marshal(map[string]any{
+				"instance": a.in,
+				"budget":   budget.String(),
+			})
+			if err != nil {
+				s.err = err.Error()
+				samples[i] = s
+				return
+			}
+			t0 := time.Now()
+			req, _ := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(service.TenantHeader, a.tenant)
+			resp, err := client.Do(req)
+			if err != nil {
+				s.err = err.Error()
+				samples[i] = s
+				return
+			}
+			var result service.SolveResult
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			s.latency = time.Since(t0)
+			if resp.StatusCode != http.StatusOK {
+				s.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+				samples[i] = s
+				return
+			}
+			if err := json.Unmarshal(data, &result); err != nil {
+				s.err = err.Error()
+			} else {
+				s.routed = result.Routed
+				s.cached = result.CacheHit
+			}
+			samples[i] = s
+		}(i, a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	r := runReport{Name: name, Requests: len(samples), WallS: wall.Seconds(),
+		Classes: map[string]classStats{}}
+	var all []float64
+	perClass := map[string][]float64{}
+	for _, s := range samples {
+		cs := r.Classes[s.class]
+		cs.Requests++
+		if s.err != "" {
+			r.Errors++
+			cs.Errors++
+			if len(r.SampleErrors) < 5 {
+				r.SampleErrors = append(r.SampleErrors, s.err)
+			}
+			r.Classes[s.class] = cs
+			continue
+		}
+		ms := float64(s.latency) / float64(time.Millisecond)
+		all = append(all, ms)
+		perClass[s.class] = append(perClass[s.class], ms)
+		if s.routed {
+			r.Routed++
+			cs.Routed++
+		}
+		if s.cached {
+			r.CacheHits++
+		}
+		r.Classes[s.class] = cs
+	}
+	sort.Float64s(all)
+	r.P50Ms = percentile(all, 50)
+	r.P99Ms = percentile(all, 99)
+	if r.Requests > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
+	}
+	if wall > 0 {
+		r.SolvesPerSec = float64(len(all)) / wall.Seconds()
+	}
+	for class, ms := range perClass {
+		sort.Float64s(ms)
+		cs := r.Classes[class]
+		cs.P50Ms = percentile(ms, 50)
+		cs.P99Ms = percentile(ms, 99)
+		r.Classes[class] = cs
+	}
+	return r
+}
+
+// inprocess starts a loopback iddserver with the given fast-path
+// setting and returns its base URL plus a shutdown func.
+func inprocess(workers, queue, fastpathMaxN int, budget time.Duration) (string, func()) {
+	srv := service.New(service.Config{
+		Workers:       workers,
+		QueueCap:      queue,
+		DefaultBudget: budget,
+		MaxBudget:     2 * budget,
+		FastPathMaxN:  fastpathMaxN,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	return ts.URL, func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "base URL of a live iddserver (empty = serve in-process)")
+		workers    = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 1024, "in-process server queue capacity")
+		duration   = flag.Duration("duration", 10*time.Second, "arrival window")
+		rate       = flag.Float64("rate", 40, "mean arrivals per second (Poisson)")
+		tenants    = flag.Int("tenants", 4, "distinct tenant ids in the mix")
+		smallFrac  = flag.Float64("small-frac", 0.85, "fraction of arrivals in the small class (5-12 indexes); the rest are medium (14-18)")
+		budget     = flag.Duration("budget", 300*time.Millisecond, "per-solve budget")
+		seed       = flag.Int64("seed", 1, "workload seed (schedule + instances)")
+		compare    = flag.Bool("compare-routing", false, "in-process only: run the identical schedule twice, fast-path on then disabled")
+		jsonOut    = flag.String("json", "", "write the full report to this file ('-' = stdout)")
+		maxErrRate = flag.Float64("max-error-rate", -1, "exit nonzero if any run's error rate exceeds this (negative = never)")
+	)
+	flag.Parse()
+
+	if *compare && *addr != "" {
+		log.Fatal("iddload: -compare-routing serves in-process; it cannot toggle routing on a remote server (drop -addr)")
+	}
+
+	arrivals := schedule(*seed, *rate, *duration, *smallFrac, *tenants)
+	log.Printf("iddload: %d arrivals over %v (%.0f/s offered, %d tenants, %.0f%% small)",
+		len(arrivals), *duration, *rate, *tenants, *smallFrac*100)
+
+	rep := report{
+		GeneratedBy: "cmd/iddload",
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Rate:        *rate,
+		DurationS:   duration.Seconds(),
+		Tenants:     *tenants,
+		SmallFrac:   *smallFrac,
+		Budget:      budget.String(),
+		Seed:        *seed,
+	}
+
+	run := func(name string, fastpathMaxN int) runReport {
+		base := *addr
+		if base == "" {
+			var stop func()
+			base, stop = inprocess(*workers, *queue, fastpathMaxN, *budget)
+			defer stop()
+		}
+		log.Printf("iddload: run %q against %s", name, base)
+		r := drive(name, base, arrivals, *budget)
+		log.Printf("iddload: %-15s %5d ok %3d err  %7.1f solves/s  p50 %7.1fms  p99 %7.1fms  routed %d",
+			name, r.Requests-r.Errors, r.Errors, r.SolvesPerSec, r.P50Ms, r.P99Ms, r.Routed)
+		for _, class := range []string{"small", "medium"} {
+			if cs, ok := r.Classes[class]; ok {
+				log.Printf("iddload:   %-8s %5d req %3d err  p50 %7.1fms  p99 %7.1fms  routed %d",
+					class, cs.Requests, cs.Errors, cs.P50Ms, cs.P99Ms, cs.Routed)
+			}
+		}
+		return r
+	}
+
+	if *compare {
+		fast := run("fastpath", 0)        // 0 = service default threshold
+		slow := run("portfolio_only", -1) // negative disables routing
+		rep.Runs = []runReport{fast, slow}
+		cmp := &comparison{
+			SolvesPerSecFastpath:      fast.SolvesPerSec,
+			SolvesPerSecPortfolioOnly: slow.SolvesPerSec,
+		}
+		fs, ss := fast.Classes["small"], slow.Classes["small"]
+		if fs.P99Ms > 0 {
+			cmp.SmallP99RatioPortfolioOverFastpath = ss.P99Ms / fs.P99Ms
+		}
+		if fs.P50Ms > 0 {
+			cmp.SmallP50RatioPortfolioOverFastpath = ss.P50Ms / fs.P50Ms
+		}
+		rep.Comparison = cmp
+		log.Printf("iddload: small-class p99 portfolio/fastpath = %.2fx, p50 = %.2fx",
+			cmp.SmallP99RatioPortfolioOverFastpath, cmp.SmallP50RatioPortfolioOverFastpath)
+	} else {
+		rep.Runs = []runReport{run("load", 0)}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("iddload: wrote %s", *jsonOut)
+		}
+	}
+
+	if *maxErrRate >= 0 {
+		for _, r := range rep.Runs {
+			if r.ErrorRate > *maxErrRate {
+				log.Printf("iddload: run %q error rate %.3f exceeds -max-error-rate %.3f", r.Name, r.ErrorRate, *maxErrRate)
+				for _, e := range r.SampleErrors {
+					log.Printf("iddload:   sample error: %s", e)
+				}
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -11,16 +11,29 @@
 //
 // Endpoints:
 //
-//	POST   /solve            solve synchronously (small instances)
-//	POST   /jobs             enqueue an async solve job (202 + job id)
-//	GET    /jobs/{id}        job status, result when finished
-//	DELETE /jobs/{id}        cancel a queued or running job
-//	GET    /jobs/{id}/events server-sent events: incumbent progress
-//	GET    /jobs/{id}/trace  flight-recorder span timeline of the solve
-//	GET    /solvers          registered backends + declared param specs
-//	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          JSON snapshot; Prometheus text format with
-//	                         ?format=prometheus or Accept: text/plain
+//	POST   /solve             solve synchronously (small instances)
+//	POST   /jobs              enqueue an async solve job (202 + job id)
+//	GET    /jobs/{id}         job status, result when finished
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /jobs/{id}/events  server-sent events: incumbent progress
+//	GET    /jobs/{id}/trace   flight-recorder span timeline of the solve
+//	POST   /batch             enqueue N instances as one batch (202 + batch id)
+//	GET    /batch/{id}        batch status + per-item results
+//	DELETE /batch/{id}        cancel every outstanding batch item
+//	GET    /batch/{id}/events server-sent events: per-item completions
+//	GET    /batch/{id}/trace  per-item flight-recorder traces
+//	GET    /solvers           registered backends + declared param specs
+//	GET    /healthz           liveness (503 while draining)
+//	GET    /metrics           JSON snapshot; Prometheus text format with
+//	                          ?format=prometheus or Accept: text/plain
+//
+// Requests carry a tenant id in the X-Tenant header (or a "tenant"
+// field / ?tenant= query knob). Dispatch is deficit round-robin across
+// per-tenant queues, so one tenant's flood cannot starve another's
+// traffic; -tenant-rate/-tenant-burst add per-tenant admission rate
+// limits and -tenant-queue a per-tenant queued-run quota. Small
+// instances (≤ -fastpath-max-n indexes) skip the portfolio race and run
+// one exact backend straight to a proved optimum.
 //
 // -debug-addr starts a SECOND listener (off by default) exposing only
 // net/http/pprof — profiles never share a port with solve traffic, so
@@ -74,6 +87,12 @@ func main() {
 		retain    = flag.Int("retain", 4096, "finished jobs kept queryable before eviction")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain window")
 		debugAddr = flag.String("debug-addr", "", "separate net/http/pprof listener (empty = disabled; keep it loopback)")
+
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant submission burst (0 = 2×rate+1)")
+		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant queued-run quota (0 = no per-tenant cap)")
+		maxBatch    = flag.Int("max-batch", 64, "instances accepted per POST /batch")
+		fastpathN   = flag.Int("fastpath-max-n", 0, "route instances with at most this many indexes straight to an exact backend (0 = default 12, negative = disable)")
 	)
 	flag.Var(&rawParams, "param", "server-wide default backend param as key=value (repeatable; see GET /solvers)")
 	flag.Parse()
@@ -95,6 +114,12 @@ func main() {
 		MaxIndexes:      *maxIdx,
 		MaxBodyBytes:    *maxBody,
 		MaxFinishedJobs: *retain,
+
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		TenantQueueCap: *tenantQueue,
+		MaxBatchItems:  *maxBatch,
+		FastPathMaxN:   *fastpathN,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

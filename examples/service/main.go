@@ -176,6 +176,97 @@ func main() {
 	}
 	resp.Body.Close()
 	fmt.Printf("relabeled resubmission: cache_hit=%t, objective %.2f\n", again.CacheHit, again.Objective)
+
+	// 5. Batch solving: POST /batch fans N instances out as sub-solves
+	// on the worker pool — each item is a real job (cache, dedup, own
+	// /jobs/{id} endpoints), the batch adds an aggregate status and a
+	// completion-ordered event stream. The X-Tenant header tags the
+	// whole batch for fair scheduling against other tenants' traffic.
+	instances := []*model.Instance{in, randSized(9), randSized(10), reversed(in)}
+	body, _ = json.Marshal(map[string]any{
+		"instances": instances,
+		"budget":    "10s",
+	})
+	req, _ := http.NewRequest("POST", ts.URL+"/batch", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TenantHeader, "examples")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batch service.BatchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted batch %s: %d items for tenant %s\n", batch.ID, len(batch.Items), batch.Tenant)
+
+	// Follow the batch stream: one "item" event per finished sub-solve
+	// (in completion order, not submission order), then "batch_done".
+	// Note item 3 is item 0's instance relabeled — the canonical hash
+	// dedups the pair: one solve serves both, and both items report
+	// shared=true (single-flight), or cache_hit=true had the first
+	// already finished.
+	stream, err = http.Get(ts.URL + "/batch/" + batch.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc = bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Type      string   `json:"type"`
+			Item      *int     `json:"item"`
+			State     string   `json:"state"`
+			Objective *float64 `json:"objective"`
+			CacheHit  bool     `json:"cache_hit"`
+			Shared    bool     `json:"shared"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Type {
+		case "item":
+			fmt.Printf("  item %d %s: objective %.2f (cache_hit=%t shared=%t)\n",
+				*ev.Item, ev.State, *ev.Objective, ev.CacheHit, ev.Shared)
+		case "batch_done":
+			fmt.Println("  batch done")
+		}
+	}
+	stream.Body.Close()
+
+	// Small instances skip the portfolio race entirely: the feature
+	// router sends them straight to one exact backend, proof included —
+	// the result says so.
+	resp, err = http.Get(ts.URL + "/batch/" + batch.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	routed := 0
+	for _, item := range batch.Items {
+		if item.Routed {
+			routed++
+		}
+	}
+	fmt.Printf("batch state %s: %d/%d items fast-path routed past the portfolio race\n",
+		batch.State, routed, len(batch.Items))
+}
+
+// randSized is randInstance at a chosen size (distinct seeds per size,
+// so batch items are genuinely different problems).
+func randSized(n int) *model.Instance {
+	rng := rand.New(rand.NewSource(int64(n)))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = n
+	cfg.Queries = 3 + (3*n)/4
+	return randgen.New(rng, cfg)
 }
 
 func randInstance() *model.Instance {

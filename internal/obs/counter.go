@@ -27,8 +27,8 @@ type counterMetric struct {
 }
 
 func (m *counterMetric) typ() string { return "counter" }
-func (m *counterMetric) samples(fn func(string, string, string, float64)) {
-	fn("", "", "", float64(m.c.Value()))
+func (m *counterMetric) samples(fn func(string, []Label, float64)) {
+	fn("", nil, float64(m.c.Value()))
 }
 func (m *counterMetric) jsonValue() any { return m.c.Value() }
 
@@ -61,8 +61,8 @@ type gaugeMetric struct {
 }
 
 func (m *gaugeMetric) typ() string { return "gauge" }
-func (m *gaugeMetric) samples(fn func(string, string, string, float64)) {
-	fn("", "", "", m.g.Value())
+func (m *gaugeMetric) samples(fn func(string, []Label, float64)) {
+	fn("", nil, m.g.Value())
 }
 func (m *gaugeMetric) jsonValue() any { return m.g.Value() }
 
@@ -72,8 +72,8 @@ type gaugeFuncMetric struct {
 }
 
 func (m *gaugeFuncMetric) typ() string { return "gauge" }
-func (m *gaugeFuncMetric) samples(fn func(string, string, string, float64)) {
-	fn("", "", "", m.fn())
+func (m *gaugeFuncMetric) samples(fn func(string, []Label, float64)) {
+	fn("", nil, m.fn())
 }
 func (m *gaugeFuncMetric) jsonValue() any { return m.fn() }
 
@@ -116,10 +116,10 @@ type counterVecMetric struct {
 }
 
 func (m *counterVecMetric) typ() string { return "counter" }
-func (m *counterVecMetric) samples(fn func(string, string, string, float64)) {
+func (m *counterVecMetric) samples(fn func(string, []Label, float64)) {
 	snap := m.v.Snapshot()
 	for _, k := range sortedKeys(snap) {
-		fn("", m.v.label, k, float64(snap[k]))
+		fn("", []Label{{m.v.label, k}}, float64(snap[k]))
 	}
 }
 func (m *counterVecMetric) jsonValue() any { return m.v.Snapshot() }

@@ -53,18 +53,34 @@ func (r *Registry) RenderText(w io.Writer) error {
 		}
 	}
 	r.each(func(m metric) {
+		// Buffer the samples first: a vec family with no children yet
+		// would otherwise render a header-only family, which the strict
+		// exposition lint (and this package's own contract) rejects.
+		var lines []string
+		m.samples(func(suffix string, labels []Label, v float64) {
+			if len(labels) == 0 {
+				lines = append(lines, fmt.Sprintf("%s%s %s\n", m.name(), suffix, formatFloat(v)))
+				return
+			}
+			var sb strings.Builder
+			for i, l := range labels {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%s=\"%s\"", l.Name, escapeLabelValue(l.Value))
+			}
+			lines = append(lines, fmt.Sprintf("%s%s{%s} %s\n", m.name(), suffix, sb.String(), formatFloat(v)))
+		})
+		if len(lines) == 0 {
+			return
+		}
 		if m.help() != "" {
 			write("# HELP %s %s\n", m.name(), escapeHelp(m.help()))
 		}
 		write("# TYPE %s %s\n", m.name(), m.typ())
-		m.samples(func(suffix, label, labelValue string, v float64) {
-			if label == "" {
-				write("%s%s %s\n", m.name(), suffix, formatFloat(v))
-				return
-			}
-			write("%s%s{%s=\"%s\"} %s\n", m.name(), suffix, label,
-				escapeLabelValue(labelValue), formatFloat(v))
-		})
+		for _, line := range lines {
+			write("%s", line)
+		}
 	})
 	return err
 }

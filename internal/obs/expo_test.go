@@ -22,6 +22,10 @@ func TestExpositionFormatLint(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.5)
 	h.Observe(100)
+	hv := r.HistogramVec("idd_lint_tenant_wait_seconds", "Queue wait by tenant.", "tenant", []float64{0.1, 1})
+	hv.With("acme").Observe(0.05)
+	hv.With("acme").Observe(5)
+	hv.With("globex").Observe(0.5)
 
 	var sb strings.Builder
 	if err := r.RenderText(&sb); err != nil {
@@ -43,6 +47,15 @@ func TestExpositionFormatLint(t *testing.T) {
 		`idd_lint_wins_total{backend="we\"ird\\back"} 1`,
 		"# TYPE idd_lint_wait_seconds histogram",
 		"# HELP idd_lint_jobs_total Jobs accepted.",
+		// Vec histograms: per-child bucket series carry both the family
+		// label and the le bound; each child restarts its own cumulative
+		// sequence (which the lint must key per series, not per family).
+		`idd_lint_tenant_wait_seconds_bucket{tenant="acme",le="0.1"} 1`,
+		`idd_lint_tenant_wait_seconds_bucket{tenant="acme",le="+Inf"} 2`,
+		`idd_lint_tenant_wait_seconds_bucket{tenant="globex",le="0.1"} 0`,
+		`idd_lint_tenant_wait_seconds_bucket{tenant="globex",le="+Inf"} 1`,
+		`idd_lint_tenant_wait_seconds_count{tenant="acme"} 2`,
+		`idd_lint_tenant_wait_seconds_count{tenant="globex"} 1`,
 	} {
 		if !strings.Contains(text, want+"\n") {
 			t.Errorf("rendered text missing %q\n---\n%s", want, text)
@@ -64,6 +77,12 @@ func TestLintCatchesMalformations(t *testing.T) {
 		"bad label escape": "# HELP idd_x_total X.\n# TYPE idd_x_total counter\n" +
 			"idd_x_total{backend=\"a\\q\"} 1\n",
 		"declared but empty": "# HELP idd_x_total X.\n# TYPE idd_x_total counter\n",
+		"vec histogram count disagrees per series": "# HELP idd_h H.\n# TYPE idd_h histogram\n" +
+			"idd_h_bucket{tenant=\"a\",le=\"+Inf\"} 3\nidd_h_bucket{tenant=\"b\",le=\"+Inf\"} 1\n" +
+			"idd_h_sum{tenant=\"a\"} 1\nidd_h_count{tenant=\"a\"} 3\n" +
+			"idd_h_sum{tenant=\"b\"} 1\nidd_h_count{tenant=\"b\"} 2\n",
+		"unseparated labels": "# HELP idd_x_total X.\n# TYPE idd_x_total counter\n" +
+			"idd_x_total{a=\"1\"b=\"2\"} 1\n",
 	} {
 		if err := LintExposition(text); err == nil {
 			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, text)

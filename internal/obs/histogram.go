@@ -138,41 +138,120 @@ func (m *histogramMetric) typ() string { return "histogram" }
 
 // samples emits the Prometheus histogram triplet: cumulative _bucket
 // series per le bound (ending with le="+Inf"), then _sum and _count.
-func (m *histogramMetric) samples(fn func(string, string, string, float64)) {
-	counts := m.h.snapshot()
+// extra carries the family label of a vec child ("" = plain histogram).
+func histogramSamples(h *Histogram, extra Label, fn func(string, []Label, float64)) {
+	counts := h.snapshot()
+	labels := func(le string) []Label {
+		if extra.Name == "" {
+			return []Label{{"le", le}}
+		}
+		return []Label{{extra.Name, extra.Value}, {"le", le}}
+	}
+	var tail []Label
+	if extra.Name != "" {
+		tail = []Label{extra}
+	}
 	var cum int64
 	for i, c := range counts {
 		cum += c
 		le := "+Inf"
-		if i < len(m.h.bounds) {
-			le = formatFloat(m.h.bounds[i])
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
 		}
-		fn("_bucket", "le", le, float64(cum))
+		fn("_bucket", labels(le), float64(cum))
 	}
-	fn("_sum", "", "", m.h.Sum())
-	fn("_count", "", "", float64(m.h.Count()))
+	fn("_sum", tail, h.Sum())
+	fn("_count", tail, float64(h.Count()))
 }
 
-func (m *histogramMetric) jsonValue() any {
-	counts := m.h.snapshot()
+func (m *histogramMetric) samples(fn func(string, []Label, float64)) {
+	histogramSamples(m.h, Label{}, fn)
+}
+
+// histogramJSON is the JSON digest shared by Histogram and HistogramVec
+// children: totals, interpolated quantiles, cumulative buckets.
+func histogramJSON(h *Histogram) map[string]any {
+	counts := h.snapshot()
 	buckets := make(map[string]int64, len(counts))
 	var cum int64
 	for i, c := range counts {
 		cum += c
 		le := "+Inf"
-		if i < len(m.h.bounds) {
-			le = formatFloat(m.h.bounds[i])
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
 		}
 		buckets[le] = cum
 	}
 	return map[string]any{
-		"count":   m.h.Count(),
-		"sum":     m.h.Sum(),
-		"p50":     m.h.Quantile(0.50),
-		"p95":     m.h.Quantile(0.95),
-		"p99":     m.h.Quantile(0.99),
+		"count":   h.Count(),
+		"sum":     h.Sum(),
+		"p50":     h.Quantile(0.50),
+		"p95":     h.Quantile(0.95),
+		"p99":     h.Quantile(0.99),
 		"buckets": buckets,
 	}
+}
+
+func (m *histogramMetric) jsonValue() any { return histogramJSON(m.h) }
+
+// HistogramVec is a histogram family keyed by one label value. Children
+// share the family's bucket layout, are created on first use and never
+// removed; With takes a mutex only on the first sighting of a label
+// value, and the returned child is a plain Histogram the caller may
+// cache, so the observe path stays lock-free.
+type HistogramVec struct {
+	label    string
+	bounds   []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.children[value] = h
+	}
+	return h
+}
+
+// Snapshot copies the family as {label value: child histogram}.
+func (v *HistogramVec) Snapshot() map[string]*Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]*Histogram, len(v.children))
+	for k, h := range v.children {
+		out[k] = h
+	}
+	return out
+}
+
+type histogramVecMetric struct {
+	desc
+	v *HistogramVec
+}
+
+func (m *histogramVecMetric) typ() string { return "histogram" }
+
+// samples emits the per-child histogram triplets in sorted label order:
+// each child's buckets carry both the family label and its le bound.
+func (m *histogramVecMetric) samples(fn func(string, []Label, float64)) {
+	snap := m.v.Snapshot()
+	for _, k := range sortedKeys(snap) {
+		histogramSamples(snap[k], Label{m.v.label, k}, fn)
+	}
+}
+
+func (m *histogramVecMetric) jsonValue() any {
+	snap := m.v.Snapshot()
+	out := make(map[string]any, len(snap))
+	for k, h := range snap {
+		out[k] = histogramJSON(h)
+	}
+	return out
 }
 
 // RateWindow estimates an event rate over a sliding time window from a

@@ -28,6 +28,7 @@ func LintExposition(text string) error {
 	bucketInf := map[string]float64{}
 	counts := map[string]float64{}
 	sawSample := map[string]bool{}
+	seriesOf := map[string][]string{} // histogram family -> bucket series keys
 
 	sc := bufio.NewScanner(strings.NewReader(text))
 	lineNo := 0
@@ -71,7 +72,7 @@ func LintExposition(text string) error {
 			continue
 		}
 
-		name, labelValue, value, ok := parseSample(line)
+		name, labels, value, ok := parseSample(line)
 		if !ok {
 			fail("line %d: unparsable sample %q", lineNo, line)
 			continue
@@ -91,18 +92,33 @@ func LintExposition(text string) error {
 		}
 		sawSample[family] = true
 		if typ == "histogram" {
+			// A histogram family may be a vec: one bucket series per extra
+			// label set (e.g. per tenant). Cumulativeness and the
+			// +Inf/_count agreement hold per series, so the bookkeeping is
+			// keyed by family plus the non-le labels.
+			series := family
+			le := ""
+			for _, l := range labels {
+				if l.Name == "le" {
+					le = l.Value
+				} else {
+					series += "|" + l.Name + "=" + l.Value
+				}
+			}
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
-				if value < bucketLast[family] {
+				if value < bucketLast[series] {
 					fail("line %d: non-cumulative bucket for %q: %v after %v",
-						lineNo, family, value, bucketLast[family])
+						lineNo, series, value, bucketLast[series])
 				}
-				bucketLast[family] = value
-				if labelValue == "+Inf" {
+				bucketLast[series] = value
+				if le == "+Inf" {
+					bucketInf[series] = value
 					bucketInf[family] = value
+					seriesOf[family] = append(seriesOf[family], series)
 				}
 			case strings.HasSuffix(name, "_count"):
-				counts[family] = value
+				counts[series] = value
 			}
 		}
 	}
@@ -119,57 +135,85 @@ func LintExposition(text string) error {
 		if typ == "histogram" {
 			if _, ok := bucketInf[family]; !ok {
 				fail("histogram %q has no +Inf bucket", family)
-			} else if counts[family] != bucketInf[family] {
-				fail("histogram %q: _count %v != +Inf bucket %v",
-					family, counts[family], bucketInf[family])
+				continue
+			}
+			for _, series := range seriesOf[family] {
+				if counts[series] != bucketInf[series] {
+					fail("histogram %q: _count %v != +Inf bucket %v",
+						series, counts[series], bucketInf[series])
+				}
 			}
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// parseSample splits a sample line into metric name, the le/label value
-// if any, and the numeric value.
-func parseSample(line string) (name, labelValue string, value float64, ok bool) {
+// parseSample splits a sample line into metric name, its label pairs
+// (nil when unlabeled), and the numeric value.
+func parseSample(line string) (name string, labels []Label, value float64, ok bool) {
 	sp := strings.LastIndexByte(line, ' ')
 	if sp < 0 {
-		return "", "", 0, false
+		return "", nil, 0, false
 	}
 	series, valStr := line[:sp], line[sp+1:]
 	v, err := parseValue(valStr)
 	if err != nil {
-		return "", "", 0, false
+		return "", nil, 0, false
 	}
 	if i := strings.IndexByte(series, '{'); i >= 0 {
 		if !strings.HasSuffix(series, "}") {
-			return "", "", 0, false
+			return "", nil, 0, false
 		}
 		name = series[:i]
 		body := series[i+1 : len(series)-1]
-		eq := strings.IndexByte(body, '=')
-		if eq < 0 {
-			return "", "", 0, false
+		for body != "" {
+			eq := strings.IndexByte(body, '=')
+			if eq < 0 {
+				return "", nil, 0, false
+			}
+			labelName := body[:eq]
+			if !validName(labelName) || strings.ContainsRune(labelName, ':') {
+				return "", nil, 0, false
+			}
+			rest := body[eq+1:]
+			if len(rest) < 2 || rest[0] != '"' {
+				return "", nil, 0, false
+			}
+			// Find the closing quote, honoring backslash escapes.
+			end := -1
+			for j := 1; j < len(rest); j++ {
+				if rest[j] == '\\' {
+					j++
+					continue
+				}
+				if rest[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				return "", nil, 0, false
+			}
+			unescaped, err := unescapeLabelValue(rest[1:end])
+			if err != nil {
+				return "", nil, 0, false
+			}
+			labels = append(labels, Label{labelName, unescaped})
+			body = rest[end+1:]
+			if body != "" {
+				if body[0] != ',' {
+					return "", nil, 0, false
+				}
+				body = body[1:]
+			}
 		}
-		labelName := body[:eq]
-		if !validName(labelName) || strings.ContainsRune(labelName, ':') {
-			return "", "", 0, false
-		}
-		quoted := body[eq+1:]
-		if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
-			return "", "", 0, false
-		}
-		unescaped, err := unescapeLabelValue(quoted[1 : len(quoted)-1])
-		if err != nil {
-			return "", "", 0, false
-		}
-		labelValue = unescaped
 	} else {
 		name = series
 	}
 	if !validName(name) {
-		return "", "", 0, false
+		return "", nil, 0, false
 	}
-	return name, labelValue, v, true
+	return name, labels, v, true
 }
 
 func parseValue(s string) (float64, error) {

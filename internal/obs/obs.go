@@ -24,14 +24,22 @@ import (
 	"sync"
 )
 
+// Label is one name="value" pair on an exposition sample. Vec metrics
+// carry their family label; histogram bucket samples additionally carry
+// the "le" bound, so a sample may have zero, one or two labels.
+type Label struct {
+	Name  string
+	Value string
+}
+
 // metric is one registered instrument. samples streams the exposition
-// samples (suffix and optional label pair appended to the metric name);
+// samples (suffix and optional labels appended to the metric name);
 // jsonValue returns the metric's JSON form for Registry.Snapshot.
 type metric interface {
 	name() string
 	help() string
 	typ() string
-	samples(fn func(suffix, label, labelValue string, v float64))
+	samples(fn func(suffix string, labels []Label, v float64))
 	jsonValue() any
 }
 
@@ -149,6 +157,23 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	h := newHistogram(bounds)
 	r.register(&histogramMetric{desc: desc{name, help}, h: h})
 	return h
+}
+
+// HistogramVec registers a histogram family keyed by one label (e.g.
+// queue wait by tenant). Children share one bucket layout (nil =
+// LatencyBuckets) and are created on first use, never removed — keep
+// the label's cardinality bounded by construction (tenant ids, backend
+// names), not by this package.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if !validName(label) || label[0] == ':' {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	v := &HistogramVec{label: label, bounds: bounds, children: make(map[string]*Histogram)}
+	r.register(&histogramVecMetric{desc: desc{name, help}, v: v})
+	return v
 }
 
 // Snapshot returns the registry's metrics as a JSON-marshalable map:

@@ -10,6 +10,8 @@ package service
 // Event types, in the order they can appear in a job's stream:
 // one "queued", at most one "started", any number of "incumbent" /
 // "backend" in solve order, at most one "proved", and a final "done".
+// Batch streams use "queued", one "item" per finished sub-solve, and a
+// final "batch_done".
 const (
 	EventQueued    = "queued"
 	EventStarted   = "started"
@@ -17,6 +19,8 @@ const (
 	EventBackend   = "backend"
 	EventProved    = "proved"
 	EventDone      = "done"
+	EventItem      = "item"
+	EventBatchDone = "batch_done"
 )
 
 // Event is one entry of a job's progress stream. Seq is contiguous from
@@ -35,8 +39,21 @@ type Event struct {
 	Skipped    bool     `json:"skipped,omitempty"`
 	Iterations int64    `json:"iterations,omitempty"`
 	Wall       Duration `json:"wall,omitempty"`
-	// CacheHit marks a done event served straight from the cache.
+	// CacheHit marks a done event served straight from the cache; Shared
+	// marks one that attached to an identical in-flight solve.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	Shared   bool `json:"shared,omitempty"`
+	// Item and JobID identify the finished sub-solve on batch "item"
+	// events: Item is the instance's position in the batch request,
+	// JobID the per-item job whose /jobs endpoints hold the details.
+	Item  *int   `json:"item,omitempty"`
+	JobID string `json:"job_id,omitempty"`
+}
+
+// eventSource is any ordered event log an SSE handler can stream: jobs
+// and batches both implement it.
+type eventSource interface {
+	eventsSince(seq int) (evs []Event, terminal bool, notify <-chan struct{})
 }
 
 // appendEvent records ev on the job and wakes subscribers. Callers must

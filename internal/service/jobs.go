@@ -1,7 +1,6 @@
 package service
 
 import (
-	"container/heap"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -55,6 +54,23 @@ type Config struct {
 	//
 	// Deprecated: set DefaultParams["cp.workers"] instead.
 	CPWorkers int
+	// TenantRate is the sustained per-tenant submission rate
+	// (jobs/second; 0 = unlimited). TenantBurst sizes the token bucket
+	// (0 = 2×rate+1). Excess submissions are rejected with
+	// ErrRateLimited (429).
+	TenantRate  float64
+	TenantBurst int
+	// TenantQueueCap bounds one tenant's queued (not yet running) runs,
+	// so a flooding tenant exhausts its own quota instead of the shared
+	// QueueCap (0 = no per-tenant cap).
+	TenantQueueCap int
+	// MaxBatchItems bounds instances per POST /batch request (0 = 64).
+	MaxBatchItems int
+	// FastPathMaxN is the routing size threshold: instances with at most
+	// this many indexes (and no explicit backend list) skip the
+	// portfolio race and run one exact backend to a proof
+	// (0 = portfolio.DefaultFastPathMaxN; negative disables routing).
+	FastPathMaxN int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,16 +98,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	c.DefaultParams = c.DefaultParams.WithIntFallback(cp.ParamWorkers, c.CPWorkers)
 	return c
 }
 
 // Submission errors the HTTP layer maps to status codes.
 var (
-	ErrQueueFull  = errors.New("service: job queue full")
-	ErrDraining   = errors.New("service: shutting down, not accepting jobs")
-	ErrUnknownJob = errors.New("service: unknown job")
-	ErrJobDone    = errors.New("service: job already finished")
+	ErrQueueFull       = errors.New("service: job queue full")
+	ErrTenantQueueFull = errors.New("service: tenant queue quota exhausted")
+	ErrRateLimited     = errors.New("service: tenant rate limit exceeded")
+	ErrDraining        = errors.New("service: shutting down, not accepting jobs")
+	ErrUnknownJob      = errors.New("service: unknown job")
+	ErrJobDone         = errors.New("service: job already finished")
+	ErrUnknownBatch    = errors.New("service: unknown batch")
 )
 
 // InvalidError wraps client-side request problems (400s).
@@ -111,6 +133,7 @@ type Job struct {
 	ID       string
 	hash     string
 	instName string
+	tenant   string
 	priority int
 
 	// origOf maps canonical index positions back to this request's
@@ -146,6 +169,7 @@ func (j *Job) Status() JobStatus {
 		State:    j.state,
 		Hash:     j.hash,
 		Instance: j.instName,
+		Tenant:   j.tenant,
 		Priority: j.priority,
 		QueuedAt: j.queuedAt,
 		Result:   j.result,
@@ -275,11 +299,15 @@ type run struct {
 	params Params
 	// bag is the registry-validated, canonically typed form of
 	// params.Params.
-	bag      backend.Params
-	budget   time.Duration
+	bag    backend.Params
+	budget time.Duration
+	// tenant is the first submitter's tenant: it decides which DRR queue
+	// the run waits in (later attachers from other tenants share the
+	// solve but not the queue slot).
+	tenant   string
 	priority int   // queue priority: max over attached jobs (under Manager.mu)
 	seq      int64 // FIFO tie-break within a priority
-	index    int   // heap position (-1 once popped/removed)
+	index    int   // heap position in its tenant queue (-1 once popped/removed)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -388,28 +416,33 @@ func (q *runQueue) Pop() any {
 	return r
 }
 
-// Manager owns the worker pool, the queue, the single-flight table and
-// the solution cache.
+// Manager owns the worker pool, the per-tenant queues, the
+// single-flight table and the solution cache.
 type Manager struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *lruCache
+	router  *portfolio.Router
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    runQueue
+	sched    *tenantSched
+	buckets  map[string]*tokenBucket
 	inflight map[string]*run
 	jobs     map[string]*Job
+	batches  map[string]*Batch
 	// finished is the FIFO of terminal job ids; beyond MaxFinishedJobs
 	// the oldest are dropped from the jobs map so a long-running server
 	// does not retain every request's event history forever.
-	finished []string
-	seq      int64
-	running  int
-	draining bool
+	// finishedBatches is the same for batches.
+	finished        []string
+	finishedBatches []string
+	seq             int64
+	running         int
+	draining        bool
 
 	wg sync.WaitGroup
 }
@@ -421,7 +454,11 @@ func NewManager(cfg Config) *Manager {
 		metrics:  newMetrics(),
 		inflight: make(map[string]*run),
 		jobs:     make(map[string]*Job),
+		batches:  make(map[string]*Batch),
+		buckets:  make(map[string]*tokenBucket),
 	}
+	m.router = portfolio.NewRouter(m.cfg.FastPathMaxN)
+	m.sched = newTenantSched(m.cfg.DefaultBudget.Seconds())
 	m.cache = newLRUCache(m.cfg.CacheSize)
 	m.metrics.bindGauges(m)
 	m.cond = sync.NewCond(&m.mu)
@@ -436,11 +473,16 @@ func NewManager(cfg Config) *Manager {
 // Metrics returns the current counters.
 func (m *Manager) Metrics() MetricsSnapshot {
 	m.mu.Lock()
-	depth, running := len(m.queue), m.running
+	depth, running := m.sched.len(), m.running
+	tenants := m.sched.depths()
 	m.mu.Unlock()
 	return m.metrics.snapshot(m.cfg.Workers, depth, m.cfg.QueueCap, running,
-		m.cache.len(), m.cfg.CacheSize)
+		m.cache.len(), m.cfg.CacheSize, tenants, m.router.Snapshot())
 }
+
+// Router exposes the fast-path router (telemetry for tests and
+// embedders).
+func (m *Manager) Router() *portfolio.Router { return m.router }
 
 // ObsRegistry returns the manager's metric registry (for the Prometheus
 // text rendering of GET /metrics and for embedders that want to add
@@ -483,10 +525,31 @@ func solveKey(hash string, p Params, bag backend.Params, budget time.Duration) s
 		hash, budget, p.Backends, p.Workers, p.Seed, p.StepLimit, p.pruneEnabled(), bag.Canon())
 }
 
+// normalizeTenant validates the request's tenant id, defaulting empty
+// to the shared tenant.
+func normalizeTenant(t string) (string, error) {
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if !validTenant(t) {
+		return "", invalidf("bad tenant %q (printable ASCII, no spaces/quotes, at most %d chars)",
+			t, maxTenantLen)
+	}
+	return t, nil
+}
+
 // Submit validates the instance and either completes a job from the
 // cache, attaches it to an identical in-flight run, or enqueues a new
-// run. The returned job is already registered and observable.
+// run under the request's tenant. The returned job is already
+// registered and observable.
 func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
+	return m.submit(in, p, false)
+}
+
+// submit is Submit with batch admission control: batch items skip the
+// per-item rate-limit charge because SubmitBatch already charged the
+// whole batch up front.
+func (m *Manager) submit(in *model.Instance, p Params, preAdmitted bool) (*Job, error) {
 	if in == nil {
 		return nil, invalidf("request carries no instance")
 	}
@@ -507,6 +570,10 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 	if err != nil {
 		return nil, &InvalidError{Err: err}
 	}
+	tenant, err := normalizeTenant(p.Tenant)
+	if err != nil {
+		return nil, err
+	}
 
 	canon, perm := codec.Canonicalize(in)
 	hash := codec.CanonicalHash(canon)
@@ -521,6 +588,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		ID:       newJobID(),
 		hash:     hash,
 		instName: in.Name,
+		tenant:   tenant,
 		priority: p.Priority,
 		origOf:   origOf,
 		state:    StateQueued,
@@ -529,7 +597,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		queuedAt: time.Now(),
 		trace:    obs.NewTrace(0),
 	}
-	j.trace.Record(obs.SpanQueued)
+	j.trace.RecordBackend(obs.SpanQueued, "", "tenant="+tenant)
 	j.events = append(j.events, Event{Seq: 0, Type: EventQueued})
 
 	m.mu.Lock()
@@ -537,7 +605,16 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if !preAdmitted {
+		if err := m.admitTenant(tenant, 1); err != nil {
+			m.mu.Unlock()
+			m.metrics.jobsRejected.Add(1)
+			m.metrics.tenantRejected.With(tenant).Inc()
+			return nil, err
+		}
+	}
 	m.metrics.jobsSubmitted.Add(1)
+	m.metrics.tenantSubmitted.With(tenant).Inc()
 
 	if res, ok := m.cache.get(key); ok {
 		m.jobs[j.ID] = j
@@ -550,6 +627,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		j.trace.Record(obs.SpanCacheHit)
 		if j.finish(StateDone, &hit, nil) {
 			m.metrics.jobsCompleted.Add(1)
+			m.metrics.tenantCompleted.With(tenant).Inc()
 			m.metrics.e2e.ObserveDuration(time.Since(j.queuedAt))
 			m.noteFinished(j.ID)
 		}
@@ -562,7 +640,7 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		// still queued, so dedup never demotes an urgent request.
 		if p.Priority > r.priority && r.index >= 0 {
 			r.priority = p.Priority
-			heap.Fix(&m.queue, r.index)
+			m.sched.promote(r)
 		}
 		m.jobs[j.ID] = j
 		m.mu.Unlock()
@@ -570,21 +648,28 @@ func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
 		return j, nil
 	}
 
-	if len(m.queue) >= m.cfg.QueueCap {
+	if m.sched.len() >= m.cfg.QueueCap {
 		m.mu.Unlock()
 		m.metrics.jobsRejected.Add(1)
+		m.metrics.tenantRejected.With(tenant).Inc()
 		return nil, ErrQueueFull
+	}
+	if m.cfg.TenantQueueCap > 0 && m.sched.tenantLen(tenant) >= m.cfg.TenantQueueCap {
+		m.mu.Unlock()
+		m.metrics.jobsRejected.Add(1)
+		m.metrics.tenantRejected.With(tenant).Inc()
+		return nil, ErrTenantQueueFull
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	r := &run{
 		key: key, canon: canon, params: p, bag: bag, budget: budget,
-		priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
+		tenant: tenant, priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
 	}
 	m.seq++
 	r.jobs = []*Job{j}
 	j.run = r
 	m.inflight[key] = r
-	heap.Push(&m.queue, r)
+	m.sched.push(r)
 	m.jobs[j.ID] = j
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -632,8 +717,7 @@ func (m *Manager) Cancel(id string) error {
 	if r != nil && r.detach(j) {
 		// Last interested job gone: abandon the solve.
 		r.cancel()
-		if r.index >= 0 {
-			heap.Remove(&m.queue, r.index)
+		if m.sched.remove(r) {
 			delete(m.inflight, r.key)
 		}
 	}
@@ -669,19 +753,20 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	}
 }
 
-// worker pops runs by priority and executes them until drain completes.
+// worker pops runs under the tenant-fair discipline and executes them
+// until drain completes.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.draining {
+		for m.sched.len() == 0 && !m.draining {
 			m.cond.Wait()
 		}
-		if len(m.queue) == 0 {
+		r := m.sched.pop()
+		if r == nil {
 			m.mu.Unlock()
 			return
 		}
-		r := heap.Pop(&m.queue).(*run)
 		m.running++
 		m.mu.Unlock()
 
@@ -723,6 +808,7 @@ func (m *Manager) execute(r *run) {
 	now := time.Now()
 	for _, j := range jobs {
 		m.metrics.queueWait.ObserveDuration(now.Sub(j.queuedAt))
+		m.metrics.tenantQueueWait.With(j.tenant).ObserveDuration(now.Sub(j.queuedAt))
 		j.start(now)
 	}
 
@@ -737,10 +823,6 @@ func (m *Manager) execute(r *run) {
 		cs, _ = prune.Analyze(c, prune.Options{})
 	}
 
-	// The portfolio enforces its own budget; the outer timeout only
-	// reaps a stuck backend, so give it headroom.
-	ctx, cancel := context.WithTimeout(r.ctx, r.budget+r.budget/2+2*time.Second)
-	defer cancel()
 	// Server-wide default params underlay the request's own bag; any key
 	// the request sets wins.
 	bag := r.bag
@@ -750,8 +832,7 @@ func (m *Manager) execute(r *run) {
 			bag[k] = v
 		}
 	}
-	start := time.Now()
-	res, err := portfolio.Solve(ctx, c, cs, portfolio.Options{
+	opts := portfolio.Options{
 		Backends:  r.params.Backends,
 		Workers:   r.params.Workers,
 		Budget:    r.budget,
@@ -768,18 +849,63 @@ func (m *Manager) execute(r *run) {
 			}
 			r.emit(progressToEvent(ev), ev.Order)
 		},
-	})
+	}
+	// The portfolio enforces its own budget; the outer timeout only
+	// reaps a stuck backend, so give it headroom. Each attempt (routed
+	// fast path, then the race on fallback) gets its own allowance.
+	solveWith := func(f func(context.Context) (portfolio.Result, error)) (portfolio.Result, error) {
+		ctx, cancel := context.WithTimeout(r.ctx, r.budget+r.budget/2+2*time.Second)
+		defer cancel()
+		return f(ctx)
+	}
+
+	features := portfolio.FeaturesOf(c, cs)
+	start := time.Now()
+	var res portfolio.Result
+	routed := false
+	// Fast path: when the request doesn't pin a backend set and the
+	// instance is small, run one applicable exact backend straight to a
+	// proof instead of racing the whole portfolio. The proof guarantees
+	// the objective is identical to what the race would return; if it
+	// doesn't land within budget, fall back to the full race.
+	if len(r.params.Backends) == 0 {
+		if name, ok := m.router.Route(c, cs); ok {
+			res, err = solveWith(func(ctx context.Context) (portfolio.Result, error) {
+				return portfolio.SolveSingle(ctx, c, cs, name, opts)
+			})
+			switch {
+			case err == nil && res.Proved:
+				routed = true
+				m.metrics.fastpathRouted.With(name).Inc()
+			case err == nil:
+				// Charge the failed attempt to the routed backend so the
+				// router explores past it (and eventually stops
+				// fast-pathing a class that never proves in budget).
+				m.router.Observe(features, name, false, 0)
+				m.metrics.fastpathFallback.Add(1)
+			}
+		}
+	}
+	if !routed && err == nil {
+		res, err = solveWith(func(ctx context.Context) (portfolio.Result, error) {
+			return portfolio.Solve(ctx, c, cs, opts)
+		})
+	}
 	wall := time.Since(start)
 	if err != nil {
 		m.fail(r, err)
 		return
 	}
+	// Both paths teach the router which exact backend proves fastest
+	// for this feature class.
+	m.router.Observe(features, res.Winner, res.Proved, wall)
 
 	result := &SolveResult{
 		Order:     res.Order,
 		Objective: res.Objective,
 		Proved:    res.Proved,
 		Winner:    res.Winner,
+		Routed:    routed,
 		Wall:      Duration(wall),
 		Backends:  make([]BackendSummary, 0, len(res.Backends)),
 	}
@@ -823,6 +949,7 @@ func (m *Manager) execute(r *run) {
 		jr.Shared = shared
 		if j.finish(StateDone, &jr, nil) {
 			m.metrics.jobsCompleted.Add(1)
+			m.metrics.tenantCompleted.With(j.tenant).Inc()
 			m.metrics.e2e.ObserveDuration(time.Since(j.queuedAt))
 			m.noteFinished(j.ID)
 		}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/evolving-olap/idd/internal/obs"
+	"github.com/evolving-olap/idd/internal/solver/portfolio"
 )
 
 // solveRateWindow is the sliding window behind solves.per_second: long
@@ -35,6 +36,21 @@ type Metrics struct {
 	wins         *obs.CounterVec
 	rate         *obs.RateWindow
 
+	// fastpathRouted counts solves the feature router sent straight to
+	// one exact backend (by backend); fastpathFallback counts routed
+	// attempts that failed to prove and fell back to the full race.
+	fastpathRouted   *obs.CounterVec
+	fastpathFallback *obs.Counter
+
+	batchesSubmitted *obs.Counter
+	batchItems       *obs.Counter
+
+	// Per-tenant accounting, labeled by tenant id.
+	tenantSubmitted *obs.CounterVec
+	tenantCompleted *obs.CounterVec
+	tenantRejected  *obs.CounterVec
+	tenantQueueWait *obs.HistogramVec
+
 	// queueWait: submission → solve start, for executed runs.
 	// solveWall: the portfolio solve itself.
 	// e2e: submission → terminal done, for every completed job
@@ -65,6 +81,17 @@ func newMetrics() *Metrics {
 		wins:         reg.CounterVec("idd_backend_wins_total", "Winning solves by backend.", "backend"),
 		rate:         obs.NewRateWindow(0, solveRateWindow),
 
+		fastpathRouted:   reg.CounterVec("idd_fastpath_routed_total", "Solves served by the fast-path router, by exact backend.", "backend"),
+		fastpathFallback: reg.Counter("idd_fastpath_fallback_total", "Routed solves that failed to prove and fell back to the portfolio race."),
+
+		batchesSubmitted: reg.Counter("idd_batches_submitted_total", "Batch requests accepted."),
+		batchItems:       reg.Counter("idd_batch_items_total", "Instances submitted through batch requests."),
+
+		tenantSubmitted: reg.CounterVec("idd_tenant_jobs_submitted_total", "Jobs accepted, by tenant.", "tenant"),
+		tenantCompleted: reg.CounterVec("idd_tenant_jobs_completed_total", "Jobs finished with a result, by tenant.", "tenant"),
+		tenantRejected:  reg.CounterVec("idd_tenant_jobs_rejected_total", "Submissions rejected (rate limit, quota or full queue), by tenant.", "tenant"),
+		tenantQueueWait: reg.HistogramVec("idd_tenant_queue_wait_seconds", "Time from submission to solve start, by tenant.", "tenant", nil),
+
 		queueWait: reg.Histogram("idd_queue_wait_seconds", "Time from submission to solve start.", nil),
 		solveWall: reg.Histogram("idd_solve_wall_seconds", "Wall-clock time of the portfolio solve.", nil),
 		e2e:       reg.Histogram("idd_request_duration_seconds", "Time from submission to job completion.", nil),
@@ -84,7 +111,7 @@ func (m *Metrics) bindGauges(mgr *Manager) {
 		func() float64 {
 			mgr.mu.Lock()
 			defer mgr.mu.Unlock()
-			return float64(len(mgr.queue))
+			return float64(mgr.sched.len())
 		})
 	m.reg.GaugeFunc("idd_jobs_running", "Runs currently executing.",
 		func() float64 {
@@ -157,6 +184,28 @@ type MetricsSnapshot struct {
 	// in-flight solve instead of spawning their own.
 	SingleFlightAttached int64 `json:"singleflight_attached"`
 
+	// Tenants is per-tenant accounting: submissions, completions,
+	// rejections and current queue depth (Prometheus carries the same
+	// series as idd_tenant_* with a tenant label, plus queue-wait
+	// histograms).
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
+
+	FastPath struct {
+		// Routed counts solves the feature router served with a single
+		// exact backend; Fallback counts routed attempts that had to
+		// rerun as a full race. ByBackend splits Routed by backend and
+		// Telemetry is the router's learned per-class proof-speed table.
+		Routed    int64                 `json:"routed"`
+		Fallback  int64                 `json:"fallback"`
+		ByBackend map[string]int64      `json:"by_backend,omitempty"`
+		Telemetry []portfolio.RouteStat `json:"telemetry,omitempty"`
+	} `json:"fastpath"`
+
+	Batches struct {
+		Submitted int64 `json:"submitted"`
+		Items     int64 `json:"items"`
+	} `json:"batches"`
+
 	Solves struct {
 		Count  int64 `json:"count"`
 		Proved int64 `json:"proved"`
@@ -175,7 +224,16 @@ type MetricsSnapshot struct {
 	} `json:"latency"`
 }
 
-func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, cacheCap int) MetricsSnapshot {
+// TenantSnapshot is one tenant's row in the JSON metrics snapshot.
+type TenantSnapshot struct {
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Rejected   int64 `json:"rejected,omitempty"`
+	QueueDepth int   `json:"queue_depth,omitempty"`
+}
+
+func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, cacheCap int,
+	tenantDepths map[string]int, routes []portfolio.RouteStat) MetricsSnapshot {
 	var s MetricsSnapshot
 	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Workers = workers
@@ -198,6 +256,43 @@ func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, ca
 	s.Cache.Cap = cacheCap
 
 	s.SingleFlightAttached = m.attached.Value()
+
+	sub := m.tenantSubmitted.Snapshot()
+	comp := m.tenantCompleted.Snapshot()
+	rej := m.tenantRejected.Snapshot()
+	if len(sub) > 0 || len(rej) > 0 || len(tenantDepths) > 0 {
+		s.Tenants = make(map[string]TenantSnapshot)
+		for tenant := range sub {
+			row := s.Tenants[tenant]
+			row.Submitted = sub[tenant]
+			s.Tenants[tenant] = row
+		}
+		for tenant := range comp {
+			row := s.Tenants[tenant]
+			row.Completed = comp[tenant]
+			s.Tenants[tenant] = row
+		}
+		for tenant := range rej {
+			row := s.Tenants[tenant]
+			row.Rejected = rej[tenant]
+			s.Tenants[tenant] = row
+		}
+		for tenant, depth := range tenantDepths {
+			row := s.Tenants[tenant]
+			row.QueueDepth = depth
+			s.Tenants[tenant] = row
+		}
+	}
+
+	s.FastPath.ByBackend = m.fastpathRouted.Snapshot()
+	for _, n := range s.FastPath.ByBackend {
+		s.FastPath.Routed += n
+	}
+	s.FastPath.Fallback = m.fastpathFallback.Value()
+	s.FastPath.Telemetry = routes
+
+	s.Batches.Submitted = m.batchesSubmitted.Value()
+	s.Batches.Items = m.batchItems.Value()
 
 	s.Solves.Count = m.solves.Value()
 	s.Solves.Proved = m.solvesProved.Value()

@@ -35,6 +35,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("POST /batch", s.handleBatchSubmit)
+	mux.HandleFunc("GET /batch/{id}", s.handleBatchGet)
+	mux.HandleFunc("DELETE /batch/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /batch/{id}/events", s.handleBatchEvents)
+	mux.HandleFunc("GET /batch/{id}/trace", s.handleBatchTrace)
 	mux.HandleFunc("GET /solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -76,12 +81,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: inv.Error()})
 	case errors.As(err, &tooBig):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull),
+		errors.Is(err, ErrRateLimited):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownBatch):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrJobDone):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
@@ -198,6 +204,9 @@ func queryParams(r *http.Request) (Params, error) {
 		}
 		p.Prune = &b
 	}
+	if v := q.Get("tenant"); v != "" {
+		p.Tenant = v
+	}
 	// Repeated ?param=key=value entries mirror the JSON "params" map
 	// (full validation happens in Submit; parsing here only needs the
 	// spec's type to build the typed value).
@@ -211,6 +220,17 @@ func queryParams(r *http.Request) (Params, error) {
 	return p, nil
 }
 
+// TenantHeader carries the tenant id on HTTP requests; it overrides
+// the body's "tenant" field and the ?tenant= query knob.
+const TenantHeader = "X-Tenant"
+
+// applyTenant resolves the request's tenant id: header > body/query.
+func applyTenant(r *http.Request, p *Params) {
+	if v := r.Header.Get(TenantHeader); v != "" {
+		p.Tenant = v
+	}
+}
+
 // handleSolve is the synchronous endpoint: submit, wait, respond with
 // the result. Client disconnection cancels the job like DELETE would.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +239,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	applyTenant(r, &p)
 	j, err := s.m.Submit(in, p)
 	if err != nil {
 		writeErr(w, err)
@@ -249,6 +270,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	applyTenant(r, &p)
 	j, err := s.m.Submit(in, p)
 	if err != nil {
 		writeErr(w, err)
@@ -321,6 +343,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, ErrUnknownJob)
 		return
 	}
+	streamEvents(w, r, j)
+}
+
+// streamEvents is the SSE loop shared by job and batch streams: replay
+// from the beginning (or from Last-Event-ID / ?from=<seq>), then live
+// until the source turns terminal.
+func streamEvents(w http.ResponseWriter, r *http.Request, src eventSource) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "response writer cannot stream"})
@@ -346,7 +375,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	for {
-		evs, terminal, notify := j.eventsSince(cursor)
+		evs, terminal, notify := src.eventsSince(cursor)
 		for _, ev := range evs {
 			data, err := json.Marshal(ev)
 			if err != nil {
@@ -367,6 +396,114 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// batchRequest is the JSON envelope accepted by POST /batch: N
+// instances sharing one set of solve knobs (tenant included).
+type batchRequest struct {
+	Instances []*model.Instance `json:"instances"`
+	Params
+}
+
+// handleBatchSubmit accepts a batch, fans it out and answers 202 with
+// the batch status (200 when every item finished at submission — all
+// cache hits or all rejected).
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer limited.Close()
+	dec := json.NewDecoder(limited)
+	dec.DisallowUnknownFields()
+	var req batchRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, err)
+			return
+		}
+		writeErr(w, invalidf("parse batch request: %v", err))
+		return
+	}
+	applyTenant(r, &req.Params)
+	b, err := s.m.SubmitBatch(req.Instances, req.Params)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st := b.Status()
+	w.Header().Set("Location", "/batch/"+b.ID)
+	code := http.StatusAccepted
+	if st.State == "done" {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.m.GetBatch(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownBatch)
+		return
+	}
+	writeJSON(w, http.StatusOK, b.Status())
+}
+
+// handleBatchCancel aborts every outstanding item and returns the
+// resulting batch status.
+func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b, ok := s.m.GetBatch(id)
+	if !ok {
+		writeErr(w, ErrUnknownBatch)
+		return
+	}
+	if err := s.m.CancelBatch(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b.Status())
+}
+
+// handleBatchEvents streams per-item completions as server-sent events
+// over the same replayable protocol as job streams.
+func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.m.GetBatch(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownBatch)
+		return
+	}
+	streamEvents(w, r, b)
+}
+
+// BatchTrace is the wire form of GET /batch/{id}/trace: one
+// flight-recorder timeline per sub-solve, index-aligned with the
+// request's instances (submission-failed items have no trace and are
+// marked by an empty id).
+type BatchTrace struct {
+	ID    string     `json:"id"`
+	State string     `json:"state"`
+	Items []JobTrace `json:"items"`
+}
+
+func (s *Server) handleBatchTrace(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.m.GetBatch(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownBatch)
+		return
+	}
+	st := b.Status()
+	out := BatchTrace{ID: b.ID, State: st.State}
+	for _, j := range b.Jobs() {
+		if j == nil {
+			out.Items = append(out.Items, JobTrace{})
+			continue
+		}
+		out.Items = append(out.Items, JobTrace{
+			ID:            j.ID,
+			State:         j.Status().State,
+			TraceSnapshot: j.TraceSnapshot(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // SolverInfo is one entry of GET /solvers: a registered backend's

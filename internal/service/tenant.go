@@ -1,0 +1,238 @@
+package service
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Multi-tenant admission and scheduling. Every job carries a tenant id
+// (the X-Tenant header or the request's "tenant" field; empty means the
+// shared "default" tenant). Admission applies an optional per-tenant
+// token-bucket rate limit and queued-run quota; dispatch replaces the
+// old single priority queue with deficit round-robin across per-tenant
+// queues, so a tenant flooding the server delays its own backlog, not
+// everyone else's. Within one tenant the previous discipline is
+// unchanged: a max-heap on (priority, submission order).
+
+// DefaultTenant is the tenant id used when a request names none.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds tenant ids; they become Prometheus label values
+// and map keys, so unbounded attacker-chosen strings are unwelcome.
+const maxTenantLen = 64
+
+// validTenant reports whether a tenant id is acceptable: non-empty,
+// bounded, printable ASCII without spaces, quotes or backslashes.
+func validTenant(t string) bool {
+	if t == "" || len(t) > maxTenantLen {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// tenantQueue is one tenant's pending runs plus its DRR deficit.
+type tenantQueue struct {
+	name    string
+	queue   runQueue
+	deficit float64 // seconds of service credit
+	inRing  bool
+}
+
+// tenantSched schedules runs across tenants with deficit round-robin.
+// All methods require the caller to hold Manager.mu; the scheduler has
+// no locking of its own.
+type tenantSched struct {
+	// quantum is the service credit (seconds) granted per round-robin
+	// visit; a run is dispatched when its tenant's accumulated deficit
+	// covers the run's budget, so tenants receive solve *time* in equal
+	// shares, not merely equal run counts.
+	quantum float64
+
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with pending runs, in rotation order
+	cursor  int
+	size    int
+}
+
+func newTenantSched(quantum float64) *tenantSched {
+	if quantum <= 0 {
+		quantum = 1
+	}
+	return &tenantSched{quantum: quantum, tenants: make(map[string]*tenantQueue)}
+}
+
+func (s *tenantSched) len() int { return s.size }
+
+// tenantLen reports one tenant's queued-run count (the quota basis).
+func (s *tenantSched) tenantLen(tenant string) int {
+	if tq, ok := s.tenants[tenant]; ok {
+		return tq.queue.Len()
+	}
+	return 0
+}
+
+// depths snapshots per-tenant queue depths for the metrics endpoint.
+func (s *tenantSched) depths() map[string]int {
+	out := make(map[string]int)
+	for name, tq := range s.tenants {
+		if n := tq.queue.Len(); n > 0 {
+			out[name] = n
+		}
+	}
+	return out
+}
+
+// push enqueues a run under its tenant, activating the tenant in the
+// rotation if it was idle.
+func (s *tenantSched) push(r *run) {
+	tq := s.tenants[r.tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: r.tenant}
+		s.tenants[r.tenant] = tq
+	}
+	heap.Push(&tq.queue, r)
+	s.size++
+	if !tq.inRing {
+		tq.inRing = true
+		s.ring = append(s.ring, tq)
+	}
+}
+
+// pop dispatches the next run under deficit round-robin: each rotation
+// visit either serves the tenant's head run (when its deficit covers
+// the run's budget) or tops the deficit up by one quantum and moves on.
+// A lone active tenant is served immediately, so single-tenant traffic
+// keeps the exact pre-multi-tenancy behavior. Returns nil when nothing
+// is queued.
+func (s *tenantSched) pop() *run {
+	if s.size == 0 {
+		return nil
+	}
+	for {
+		tq := s.ring[s.cursor]
+		cost := tq.queue[0].budget.Seconds()
+		if tq.deficit >= cost || len(s.ring) == 1 {
+			r := heap.Pop(&tq.queue).(*run)
+			s.size--
+			tq.deficit -= cost
+			if tq.deficit < 0 {
+				tq.deficit = 0
+			}
+			if tq.queue.Len() == 0 {
+				s.deactivate(tq)
+			} else {
+				s.advance()
+			}
+			return r
+		}
+		tq.deficit += s.quantum
+		s.advance()
+	}
+}
+
+// remove deletes a specific run (cancellation); reports whether it was
+// still queued.
+func (s *tenantSched) remove(r *run) bool {
+	tq := s.tenants[r.tenant]
+	if tq == nil || r.index < 0 {
+		return false
+	}
+	heap.Remove(&tq.queue, r.index)
+	s.size--
+	if tq.queue.Len() == 0 && tq.inRing {
+		s.deactivate(tq)
+	}
+	return true
+}
+
+// promote re-heaps a run after a priority bump from a single-flight
+// attacher.
+func (s *tenantSched) promote(r *run) {
+	if tq := s.tenants[r.tenant]; tq != nil && r.index >= 0 {
+		heap.Fix(&tq.queue, r.index)
+	}
+}
+
+func (s *tenantSched) advance() {
+	if len(s.ring) > 0 {
+		s.cursor = (s.cursor + 1) % len(s.ring)
+	}
+}
+
+// deactivate removes an emptied tenant from the rotation and resets its
+// deficit so idle periods never bank service credit.
+func (s *tenantSched) deactivate(tq *tenantQueue) {
+	tq.inRing = false
+	tq.deficit = 0
+	for i, q := range s.ring {
+		if q == tq {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if i < s.cursor {
+				s.cursor--
+			}
+			break
+		}
+	}
+	if s.cursor >= len(s.ring) {
+		s.cursor = 0
+	}
+}
+
+// tokenBucket is a standard token bucket: capacity burst, refilled at
+// rate tokens/second. Caller must hold Manager.mu.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take withdraws n tokens, reporting false (and withdrawing nothing)
+// when the bucket holds fewer.
+func (b *tokenBucket) take(now time.Time, n float64) bool {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// admitTenant applies the per-tenant token-bucket rate limit, charging
+// n submissions (a batch charges its whole item count up front, so an
+// oversized batch is rejected atomically rather than half-admitted).
+// Caller holds m.mu.
+func (m *Manager) admitTenant(tenant string, n int) error {
+	if m.cfg.TenantRate <= 0 {
+		return nil
+	}
+	b := m.buckets[tenant]
+	if b == nil {
+		burst := m.cfg.TenantBurst
+		if burst <= 0 {
+			burst = int(2*m.cfg.TenantRate) + 1
+		}
+		b = newTokenBucket(m.cfg.TenantRate, float64(burst), time.Now())
+		m.buckets[tenant] = b
+	}
+	if !b.take(time.Now(), float64(n)) {
+		return ErrRateLimited
+	}
+	return nil
+}

@@ -12,18 +12,32 @@
 // Prometheus-convention counters and latency histograms (queue wait,
 // solve wall, end-to-end) on a per-manager registry.
 //
+// The service is multi-tenant: requests carry a tenant id (X-Tenant
+// header or "tenant" field), dispatch is deficit round-robin across
+// per-tenant queues so one tenant's flood cannot starve another's
+// sparse traffic, and optional per-tenant rate limits and queue quotas
+// bound admission. Small instances skip the portfolio race entirely: a
+// feature-based router sends them straight to one applicable exact
+// backend (falling back to the race if the proof doesn't land), which
+// returns the identical proved optimum at a fraction of the overhead.
+//
 // Endpoints (see cmd/iddserver and the README for the wire details):
 //
-//	POST   /solve            solve synchronously (small instances)
-//	POST   /jobs             enqueue an async solve job
-//	GET    /jobs/{id}        job status + result when finished
-//	DELETE /jobs/{id}        cancel a queued or running job
-//	GET    /jobs/{id}/events server-sent events: incumbent progress
-//	GET    /jobs/{id}/trace  flight-recorder span timeline of the solve
-//	GET    /solvers          registered backends + declared param specs
-//	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          JSON snapshot, or Prometheus text with
-//	                         ?format=prometheus / Accept: text/plain
+//	POST   /solve             solve synchronously (small instances)
+//	POST   /jobs              enqueue an async solve job
+//	GET    /jobs/{id}         job status + result when finished
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /jobs/{id}/events  server-sent events: incumbent progress
+//	GET    /jobs/{id}/trace   flight-recorder span timeline of the solve
+//	POST   /batch             enqueue N instances as one batch
+//	GET    /batch/{id}        batch status + per-item results
+//	DELETE /batch/{id}        cancel every outstanding batch item
+//	GET    /batch/{id}/events server-sent events: per-item completions
+//	GET    /batch/{id}/trace  per-item flight-recorder traces
+//	GET    /solvers           registered backends + declared param specs
+//	GET    /healthz           liveness (503 while draining)
+//	GET    /metrics           JSON snapshot, or Prometheus text with
+//	                          ?format=prometheus / Accept: text/plain
 package service
 
 import (
@@ -67,8 +81,10 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 
 // Params are the per-request solve knobs. All fields are optional; the
 // server clamps Budget to its configured maximum and fills defaults.
-// Every field except Priority contributes to the cache/single-flight
-// key — two requests dedupe only when they would run identically.
+// Every field except Priority and Tenant contributes to the
+// cache/single-flight key — two requests dedupe only when they would
+// run identically (identical solves dedupe across tenants on purpose;
+// the result is a pure function of the instance and knobs).
 type Params struct {
 	// Budget is the wall-clock solve budget (default/maximum from the
 	// server config).
@@ -95,6 +111,10 @@ type Params struct {
 	// Prune toggles the §5 pruning analysis before the solve
 	// (nil = true).
 	Prune *bool `json:"prune,omitempty"`
+	// Tenant attributes the request for fair scheduling, rate limits and
+	// per-tenant metrics (the X-Tenant header overrides it; empty means
+	// the shared "default" tenant). Not part of the dedup key.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 func (p Params) pruneEnabled() bool { return p.Prune == nil || *p.Prune }
@@ -149,6 +169,10 @@ type SolveResult struct {
 	// (single-flight deduplication).
 	CacheHit bool `json:"cache_hit,omitempty"`
 	Shared   bool `json:"shared,omitempty"`
+	// Routed marks a solve served by the fast path: the feature router
+	// sent the instance straight to one exact backend (Winner) instead
+	// of racing the portfolio, and that backend proved the optimum.
+	Routed bool `json:"routed,omitempty"`
 }
 
 // Job states.
@@ -166,6 +190,7 @@ type JobStatus struct {
 	State      string       `json:"state"`
 	Hash       string       `json:"hash"`
 	Instance   string       `json:"instance,omitempty"`
+	Tenant     string       `json:"tenant,omitempty"`
 	Priority   int          `json:"priority,omitempty"`
 	QueuedAt   time.Time    `json:"queued_at"`
 	StartedAt  *time.Time   `json:"started_at,omitempty"`

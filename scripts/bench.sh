@@ -18,7 +18,16 @@
 #       the cp_parallel numbers get regenerated on multi-core hardware
 #       without redoing the evaluation-core suite; the section records
 #       its own "cpus" and "gomaxprocs" so a mixed file stays honest.
-#       Sections: cp_parallel, eval.
+#       Sections: cp_parallel, eval, serve.
+#   scripts/bench.sh --section serve
+#       run the iddload serving benchmark (open-loop mixed-size tenant
+#       traffic, fast-path routing on vs disabled over the identical
+#       schedule) and write BENCH_serve.json. Knobs: SERVE_RATE,
+#       SERVE_DURATION, SERVE_SMALL_FRAC, SERVE_BUDGET, SERVE_TENANTS,
+#       SERVE_OUT. The report stamps cpus/gomaxprocs — like cp_parallel,
+#       a 1-CPU runner understates the fast-path win (the portfolio race
+#       and the routed backend contend for the same core either way;
+#       more cores widen the gap for the race's parallel backends).
 #   SEED_REF=<git-ref> scripts/bench.sh
 #       also measure the pre-MoveEval full-replay scoring cost at the
 #       given ref (e.g. the PR base commit) in a throwaway worktree and
@@ -49,11 +58,25 @@ while [ $# -gt 0 ]; do
         *) echo "bench.sh: unknown argument $1 (only --section <name>)" >&2; exit 2 ;;
     esac
 done
+if [ "$SECTION" = serve ]; then
+    # The serving benchmark is its own artifact (BENCH_serve.json), not a
+    # go-test bench fold: iddload writes the full report itself, stamped
+    # with cpus/gomaxprocs.
+    SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+    exec go run ./cmd/iddload -compare-routing \
+        -rate "${SERVE_RATE:-60}" \
+        -duration "${SERVE_DURATION:-10s}" \
+        -small-frac "${SERVE_SMALL_FRAC:-0.88}" \
+        -budget "${SERVE_BUDGET:-100ms}" \
+        -tenants "${SERVE_TENANTS:-4}" \
+        -max-error-rate "${SERVE_MAX_ERROR_RATE:-0}" \
+        -json "$SERVE_OUT"
+fi
 if [ -n "$SECTION" ]; then
     case "$SECTION" in
         cp_parallel) PATTERN='BenchmarkCPParallel' ;;
         eval) PATTERN='BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop' ;;
-        *) echo "bench.sh: unknown section '$SECTION' (sections: cp_parallel, eval)" >&2; exit 2 ;;
+        *) echo "bench.sh: unknown section '$SECTION' (sections: cp_parallel, eval, serve)" >&2; exit 2 ;;
     esac
     if [ ! -f "$OUT" ]; then
         echo "bench.sh: --section merges into an existing $OUT; run a full pass first" >&2

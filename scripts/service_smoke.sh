@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for iddserver: start the service, POST a reduced TPC-H
-# instance, and assert a proved-optimal response plus healthy metrics.
+# instance, and assert a proved-optimal response plus healthy metrics;
+# then exercise the batch endpoint, a short multi-tenant iddload burst
+# (zero errors required), and the per-tenant Prometheus series.
 # Used by CI and runnable locally: ./scripts/service_smoke.sh
 set -euo pipefail
 
@@ -82,6 +84,41 @@ grep -q 'idd_solve_wall_seconds_bucket{le="+Inf"} 2' "$workdir/metrics.prom"
 grep -q '^idd_backend_wins_total{backend=' "$workdir/metrics.prom"
 # Two sync cache hits plus the async resubmission of the same request.
 grep -q '^idd_cache_hits_total 3$' "$workdir/metrics.prom"
+
+# Batch endpoint: two instances in one request, tagged with a tenant.
+# The SSE stream returns at the terminal batch_done event; every item
+# must land done with an objective.
+printf '{"instances": [%s, %s], "budget": "20s"}' \
+  "$(cat "$workdir/r12.json")" "$(cat "$workdir/r12.json")" > "$workdir/batch.json"
+batch_id=$(curl -sf -X POST -H 'Content-Type: application/json' -H 'X-Tenant: smoke-batch' \
+  --data @"$workdir/batch.json" "http://$addr/batch" |
+  sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
+test -n "$batch_id"
+curl -sf --max-time 60 "http://$addr/batch/$batch_id/events" > "$workdir/batch_events.txt"
+grep -q '^event: item' "$workdir/batch_events.txt"
+grep -q '^event: batch_done' "$workdir/batch_events.txt"
+curl -sf "http://$addr/batch/$batch_id" > "$workdir/batch_status.json"
+grep -q '"state": "done"' "$workdir/batch_status.json"
+grep -q '"objective"' "$workdir/batch_status.json"
+curl -sf "http://$addr/batch/$batch_id/trace" | grep -q '"kind": "queued"'
+
+# Serving load burst: a short open-loop iddload run against the live
+# server must complete with zero errors (-max-error-rate 0 exits 2
+# otherwise).
+go build -o "$workdir/iddload" ./cmd/iddload
+"$workdir/iddload" -addr "http://$addr" -duration 3s -rate 20 -tenants 3 \
+  -small-frac 1 -budget 2s -max-error-rate 0 2> "$workdir/iddload.log"
+
+# After real multi-tenant traffic the Prometheus scrape must carry
+# non-empty per-tenant series, batch counters, and fast-path routing
+# telemetry.
+curl -sf "http://$addr/metrics?format=prometheus" > "$workdir/metrics2.prom"
+grep -q '^idd_tenant_jobs_submitted_total{tenant="tenant-0"}' "$workdir/metrics2.prom"
+grep -q '^idd_tenant_jobs_completed_total{tenant="smoke-batch"} 2$' "$workdir/metrics2.prom"
+grep -q '^idd_tenant_queue_wait_seconds_count{tenant=' "$workdir/metrics2.prom"
+grep -q '^idd_batches_submitted_total 1$' "$workdir/metrics2.prom"
+grep -q '^idd_batch_items_total 2$' "$workdir/metrics2.prom"
+grep -q '^idd_fastpath_routed_total{backend=' "$workdir/metrics2.prom"
 
 # Graceful shutdown on SIGTERM.
 kill -TERM "$server_pid"
