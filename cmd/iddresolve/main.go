@@ -1,0 +1,322 @@
+// Command iddresolve benchmarks online re-solving under workload drift:
+// the scenario the session API serves. A seeded random workload drifts
+// for -rounds rounds (alternating weight-only rescaling and structural
+// index churn); each round is solved twice with the same step-limited
+// VNS — cold from the greedy order, and warm from the previous round's
+// best order repaired against the drift (evolve.RepairOrder, the same
+// repair a session delta applies). The report records, per round, the
+// search steps each variant needed to reach the cold run's final
+// objective — the paper's motivating claim is that a repaired prior
+// plan is a far better starting point than re-deriving one from
+// scratch, and on weight-only drift the warm seed usually IS the
+// answer (0 steps).
+//
+// Usage:
+//
+//	iddresolve -rounds 8 -indexes 14 -steps 12000 -json BENCH_resolve.json
+//
+// With -json "" the report goes to stdout. scripts/bench.sh --section
+// resolve folds the report into BENCH_eval.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/evolve"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/solver/greedy"
+	"github.com/evolving-olap/idd/internal/solver/local"
+)
+
+type roundReport struct {
+	Round int    `json:"round"`
+	Drift string `json:"drift"` // initial | weights | structural
+	N     int    `json:"n"`
+	// Target is the cold run's final objective; both step counts below
+	// measure steps to first reach it (within 1e-9 relative).
+	Target      float64 `json:"target"`
+	ColdSeedObj float64 `json:"cold_seed_obj"`
+	ColdSteps   int64   `json:"cold_steps_to_target"`
+	ColdWallMS  float64 `json:"cold_wall_ms"`
+	WarmSeedObj float64 `json:"warm_seed_obj,omitempty"`
+	// WarmSteps is -1 when the warm run never reached the target within
+	// the step limit (it then still reports its own final objective).
+	WarmSteps   int64   `json:"warm_steps_to_target"`
+	WarmWallMS  float64 `json:"warm_wall_ms,omitempty"`
+	WarmFinal   float64 `json:"warm_final_obj,omitempty"`
+	WarmReached bool    `json:"warm_reached"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	Seed        int64         `json:"seed"`
+	Indexes     int           `json:"indexes"`
+	Queries     int           `json:"queries"`
+	Rounds      int           `json:"rounds"`
+	StepLimit   int64         `json:"step_limit"`
+	CPUs        int           `json:"cpus"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Detail      []roundReport `json:"rounds_detail"`
+	Summary     struct {
+		WeightRounds              int  `json:"weight_rounds"`
+		WeightRoundsWarmFewer     int  `json:"weight_rounds_warm_fewer_steps"`
+		StructuralRounds          int  `json:"structural_rounds"`
+		StructuralRoundsWarmFewer int  `json:"structural_rounds_warm_fewer_steps"`
+		WarmNeverWorseThanSeed    bool `json:"warm_never_worse_than_seed"`
+	} `json:"summary"`
+}
+
+func main() {
+	var (
+		rounds  = flag.Int("rounds", 8, "drift rounds after the initial solve")
+		indexes = flag.Int("indexes", 14, "indexes in the base workload")
+		queries = flag.Int("queries", 12, "queries in the base workload")
+		seed    = flag.Int64("seed", 1, "random seed for workload and drift")
+		steps   = flag.Int64("steps", 12000, "VNS step limit per solve")
+		jsonOut = flag.String("json", "", "write the report to this file (empty = stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = *indexes
+	cfg.Queries = *queries
+	inst := randgen.New(rng, cfg)
+
+	rep := report{
+		GeneratedBy: "cmd/iddresolve",
+		Seed:        *seed, Indexes: *indexes, Queries: *queries,
+		Rounds: *rounds, StepLimit: *steps,
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rep.Summary.WarmNeverWorseThanSeed = true
+
+	var prior []string // previous round's best plan, by index name
+	addSerial := 0
+	for r := 0; r <= *rounds; r++ {
+		drift := "initial"
+		if r > 0 {
+			if r%2 == 1 {
+				drift = "weights"
+				driftWeights(rng, inst)
+			} else {
+				drift = "structural"
+				addSerial++
+				driftStructure(rng, inst, addSerial)
+			}
+		}
+		if err := inst.Validate(); err != nil {
+			fail(fmt.Errorf("round %d: drifted instance invalid: %w", r, err))
+		}
+		c, err := model.Compile(inst)
+		if err != nil {
+			fail(err)
+		}
+		cs := sched.PrecedenceSet(inst)
+
+		// Cold: greedy seed, full step limit. Its final objective is the
+		// round's target.
+		coldSeed := greedy.Solve(c, cs)
+		coldStart := time.Now()
+		cold := local.VNS(c, cs, local.Options{
+			Initial: coldSeed, MaxSteps: *steps,
+			Rng: rand.New(rand.NewSource(*seed + int64(r)*1000)),
+		})
+		coldWall := time.Since(coldStart)
+		target := cold.Objective
+		rr := roundReport{
+			Round: r, Drift: drift, N: inst.N(), Target: target,
+			ColdSeedObj: c.Objective(coldSeed),
+			ColdSteps:   stepsToTarget(c.Objective(coldSeed), cold.Traj, target),
+			ColdWallMS:  float64(coldWall.Microseconds()) / 1000,
+		}
+
+		bestNames := namesOf(inst, cold.Order)
+		if r > 0 {
+			// Warm: the previous plan repaired against the drift — exactly
+			// what a session delta seeds its re-solve with.
+			warmNames, err := evolve.RepairOrder(inst, prior)
+			if err != nil {
+				fail(fmt.Errorf("round %d: repair: %w", r, err))
+			}
+			warmSeed := orderOf(inst, warmNames)
+			warmStart := time.Now()
+			warm := local.VNS(c, cs, local.Options{
+				Initial: warmSeed, MaxSteps: *steps,
+				Rng: rand.New(rand.NewSource(*seed + int64(r)*1000)),
+			})
+			warmWall := time.Since(warmStart)
+			rr.WarmSeedObj = c.Objective(warmSeed)
+			rr.WarmSteps = stepsToTarget(rr.WarmSeedObj, warm.Traj, target)
+			rr.WarmWallMS = float64(warmWall.Microseconds()) / 1000
+			rr.WarmFinal = warm.Objective
+			rr.WarmReached = rr.WarmSteps >= 0
+			if warm.Objective > rr.WarmSeedObj+1e-9 {
+				rep.Summary.WarmNeverWorseThanSeed = false
+			}
+			if warm.Objective < target {
+				// The warm run ended strictly better; its plan seeds the
+				// next round.
+				bestNames = namesOf(inst, warm.Order)
+			}
+			if drift == "weights" {
+				rep.Summary.WeightRounds++
+				if rr.WarmReached && rr.WarmSteps < rr.ColdSteps {
+					rep.Summary.WeightRoundsWarmFewer++
+				}
+			} else {
+				rep.Summary.StructuralRounds++
+				if rr.WarmReached && rr.WarmSteps < rr.ColdSteps {
+					rep.Summary.StructuralRoundsWarmFewer++
+				}
+			}
+		}
+		prior = bestNames
+		rep.Detail = append(rep.Detail, rr)
+		fmt.Fprintf(os.Stderr, "round %d (%s, n=%d): target=%.2f cold(seed=%.2f steps=%d) warm(seed=%.2f steps=%d)\n",
+			r, drift, rr.N, rr.Target, rr.ColdSeedObj, rr.ColdSteps, rr.WarmSeedObj, rr.WarmSteps)
+	}
+
+	out := os.Stdout
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+	if *jsonOut != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+// stepsToTarget returns the step count at which the trajectory first
+// reached the target (0 when the seed itself already had), -1 if never.
+func stepsToTarget(seedObj float64, traj local.Trajectory, target float64) int64 {
+	eps := 1e-9 * math.Max(1, math.Abs(target))
+	if seedObj <= target+eps {
+		return 0
+	}
+	for _, p := range traj {
+		if p.Objective <= target+eps {
+			return p.Steps
+		}
+	}
+	return -1
+}
+
+// driftWeights rescales about a third of the query weights — float-only
+// drift: the structural hash (and any deployed plan) stays valid.
+func driftWeights(rng *rand.Rand, in *model.Instance) {
+	for q := range in.Queries {
+		if rng.Float64() > 1.0/3 {
+			continue
+		}
+		w := in.Queries[q].Weight
+		if w == 0 {
+			w = 1
+		}
+		in.Queries[q].Weight = w * (0.7 + 0.6*rng.Float64())
+	}
+}
+
+// driftStructure drops one random index (with everything referencing
+// it) and adds a fresh one with a plan for a random query.
+func driftStructure(rng *rand.Rand, in *model.Instance, serial int) {
+	drop := rng.Intn(in.N())
+	remap := make([]int, in.N())
+	kept := in.Indexes[:0:0]
+	for i, ix := range in.Indexes {
+		if i == drop {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		kept = append(kept, ix)
+	}
+	in.Indexes = kept
+	plans := in.Plans[:0:0]
+	for _, p := range in.Plans {
+		ok := true
+		for k, ix := range p.Indexes {
+			if remap[ix] < 0 {
+				ok = false
+				break
+			}
+			p.Indexes[k] = remap[ix]
+		}
+		if ok {
+			plans = append(plans, p)
+		}
+	}
+	in.Plans = plans
+	builds := in.BuildInteractions[:0:0]
+	for _, b := range in.BuildInteractions {
+		if remap[b.Target] < 0 || remap[b.Helper] < 0 {
+			continue
+		}
+		b.Target, b.Helper = remap[b.Target], remap[b.Helper]
+		builds = append(builds, b)
+	}
+	in.BuildInteractions = builds
+	precs := in.Precedences[:0:0]
+	for _, pr := range in.Precedences {
+		if remap[pr.Before] < 0 || remap[pr.After] < 0 {
+			continue
+		}
+		pr.Before, pr.After = remap[pr.Before], remap[pr.After]
+		precs = append(precs, pr)
+	}
+	in.Precedences = precs
+
+	ix := len(in.Indexes)
+	in.Indexes = append(in.Indexes, model.Index{
+		Name:       fmt.Sprintf("drift_ix_%d", serial),
+		CreateCost: 10 + 110*rng.Float64(),
+	})
+	q := rng.Intn(len(in.Queries))
+	maxSpeedup := in.Queries[q].Runtime * 0.8
+	in.Plans = append(in.Plans, model.Plan{
+		Query: q, Indexes: []int{ix}, Speedup: maxSpeedup * (0.3 + 0.6*rng.Float64()),
+	})
+}
+
+func namesOf(in *model.Instance, order []int) []string {
+	out := make([]string, len(order))
+	for k, ix := range order {
+		out[k] = in.Indexes[ix].Name
+	}
+	return out
+}
+
+func orderOf(in *model.Instance, names []string) []int {
+	pos := make(map[string]int, in.N())
+	for i, ix := range in.Indexes {
+		pos[ix.Name] = i
+	}
+	out := make([]int, len(names))
+	for k, name := range names {
+		out[k] = pos[name]
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "iddresolve: %v\n", err)
+	os.Exit(2)
+}

@@ -22,6 +22,11 @@
 //	DELETE /batch/{id}        cancel every outstanding batch item
 //	GET    /batch/{id}/events server-sent events: per-item completions
 //	GET    /batch/{id}/trace  per-item flight-recorder traces
+//	POST   /sessions          create a re-solve session (201 + initial plan)
+//	GET    /sessions/{id}     session status: plan, revision, last result
+//	POST   /sessions/{id}/delta  apply a workload delta, re-solve warm-started
+//	GET    /sessions/{id}/events server-sent events: changed plan tails
+//	DELETE /sessions/{id}     close the session
 //	GET    /solvers           registered backends + declared param specs
 //	GET    /healthz           liveness (503 while draining)
 //	GET    /metrics           JSON snapshot; Prometheus text format with
@@ -34,6 +39,13 @@
 // limits and -tenant-queue a per-tenant queued-run quota. Small
 // instances (≤ -fastpath-max-n indexes) skip the portfolio race and run
 // one exact backend straight to a proved optimum.
+//
+// Sessions make workload drift first-class: POST /sessions solves the
+// initial workload and pins its deployment plan; each delta (query
+// weight changes, index adds/drops, new plans/precedences, indexes
+// marked built) re-solves warm-started from the previous incumbent,
+// repaired against the delta, and the session's event stream carries
+// only the changed tail of the plan.
 //
 // -debug-addr starts a SECOND listener (off by default) exposing only
 // net/http/pprof — profiles never share a port with solve traffic, so

@@ -11,6 +11,8 @@
 //	iddsolve -method greedy tpcds.json
 //	iddsolve -method portfolio -workers 8 -budget 30s tpcds.json
 //	iddsolve -method portfolio -json r13.json | jq .objective
+//	iddsolve -method portfolio -json r13.json > prior.json
+//	iddsolve -warm-start-from prior.json r13_evolved.json
 //
 // Methods are the solver backends of the self-describing registry
 // (internal/solver/backend; run -list-solvers for the roster and each
@@ -28,6 +30,14 @@
 // proof-capable method (bruteforce, astar, cp, mip, portfolio) exhausted
 // its budget — or was interrupted — without an optimality proof. The
 // best incumbent is still printed in that case.
+//
+// -warm-start-from seeds the search with a previous run's order: the
+// file is either a prior -json report (its "names" list is used) or a
+// bare JSON array of index names. The order is repaired against the
+// current instance first — dropped indexes removed, new ones inserted
+// at their best feasible position — so a plan computed before the
+// workload evolved remains a valid (and usually excellent) seed. An
+// unrepairable seed degrades to a cold start with a warning.
 //
 // -budget (default 10s) bounds EVERY method uniformly. Note for
 // pre-registry scripts: bruteforce and astar used to ignore -budget and
@@ -59,6 +69,7 @@ import (
 
 	"github.com/evolving-olap/idd/internal/codec"
 	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/evolve"
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/obs"
 	"github.com/evolving-olap/idd/internal/prune"
@@ -104,6 +115,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "portfolio: concurrent backends (0 = GOMAXPROCS)")
 		cpWork   = flag.Int("cp-workers", 0, "deprecated alias of -param cp.workers=N")
 		solvers  = flag.String("solvers", "", "portfolio: comma-separated backend list (empty = auto; available: "+strings.Join(portfolio.Names(), ",")+")")
+		warmFrom = flag.String("warm-start-from", "", "seed the search from a prior -json report (or a JSON array of index names), repaired against this instance")
 		trace    = flag.Bool("trace", false, "record a flight-recorder trace and print its span timeline after the report")
 		traceJS  = flag.Bool("trace-json", false, "like -trace but print the spans as JSON (inside the report when -json is set)")
 		list     = flag.Bool("list-solvers", false, "list the registered solver backends and their -param knobs, then exit")
@@ -145,6 +157,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "analysis (%v): %v\n", time.Since(start).Round(time.Millisecond), rep)
 	}
 
+	var initial []int
+	if *warmFrom != "" {
+		warm, err := warmOrderFrom(*warmFrom, in, c, cs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iddsolve: warm start rejected (%v), starting cold\n", err)
+		} else {
+			initial = warm
+			fmt.Fprintf(os.Stderr, "warm start: seeded from %s\n", *warmFrom)
+		}
+	}
+
 	// SIGINT/SIGTERM cancel the search context; every method below polls
 	// it and returns its best incumbent instead of dying mid-print. The
 	// registration is dropped the moment the context fires (not when the
@@ -161,7 +184,7 @@ func main() {
 		tr.Record(obs.SpanStarted)
 	}
 	start := time.Now()
-	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers, params, tr)
+	order, outcome := solve(ctx, c, cs, *method, *budget, *seed, *workers, *solvers, params, initial, tr)
 	elapsed := time.Since(start)
 	interrupted := ctx.Err() != nil
 	stop()
@@ -352,9 +375,47 @@ func recordProgressSpan(tr *obs.Trace, ev portfolio.ProgressEvent) {
 	}
 }
 
+// warmOrderFrom reads a prior order (a -json report's "names" or a bare
+// JSON name array), repairs it against the current instance (dropped
+// indexes removed, added ones greedy-inserted), then against the full
+// constraint set, and returns it in position space.
+func warmOrderFrom(path string, in *model.Instance, c *model.Compiled, cs *constraint.Set) ([]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	var rep struct {
+		Names []string `json:"names"`
+	}
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Names) > 0 {
+		names = rep.Names
+	} else if err := json.Unmarshal(data, &names); err != nil {
+		return nil, fmt.Errorf("%s: neither a -json report with names nor a name array: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: carries no index names", path)
+	}
+	repaired, err := evolve.RepairOrder(in, names)
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[string]int, in.N())
+	for i, ix := range in.Indexes {
+		pos[ix.Name] = i
+	}
+	order := make([]int, len(repaired))
+	for k, name := range repaired {
+		order[k] = pos[name]
+	}
+	// The pruning analysis may have added precedence edges the prior
+	// order never saw; the stable topological repair handles those.
+	return portfolio.RepairInitial(c, cs, order)
+}
+
 func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method string,
 	budget time.Duration, seed int64, workers int, solvers string,
-	params backend.Params, tr *obs.Trace) ([]int, solveOutcome) {
+	params backend.Params, initial []int, tr *obs.Trace) ([]int, solveOutcome) {
 	switch method {
 	case "random":
 		rng := rand.New(rand.NewSource(seed))
@@ -374,6 +435,7 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			Budget:     budget,
 			Params:     params,
 			Seed:       seed,
+			Initial:    initial,
 			OnProgress: func(ev portfolio.ProgressEvent) { recordProgressSpan(tr, ev) },
 		})
 		if err != nil {
@@ -431,6 +493,9 @@ func solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, method st
 			Seed:        seed,
 			Initial:     greedy.Solve(c, cs),
 			Params:      params,
+		}
+		if initial != nil {
+			req.Initial = initial
 		}
 		if tr != nil {
 			tr.RecordBackend(obs.SpanBackendStart, method, "")

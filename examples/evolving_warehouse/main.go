@@ -5,15 +5,27 @@
 // the new workload no longer needs, and deploys the delta in optimized
 // order.
 //
+// The second half replays the same loop against a live iddserver: the
+// era-2 workload becomes a re-solve session, a weight shift re-solves
+// warm-started from the pinned plan, and marking the first index built
+// shrinks the plan to the remaining tail — the online form of the
+// driver above.
+//
 //	go run ./examples/evolving_warehouse
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	"github.com/evolving-olap/idd/internal/advisor"
 	"github.com/evolving-olap/idd/internal/evolve"
+	"github.com/evolving-olap/idd/internal/service"
 	"github.com/evolving-olap/idd/internal/sql"
 )
 
@@ -94,5 +106,80 @@ func main() {
 			fmt.Println("  (design already optimal for this workload)")
 		}
 		fmt.Println()
+	}
+
+	// The same loop, served. Stand up the solve service in-process and
+	// drive its session API: the era-2 workload is pinned as a session,
+	// then drifts instead of being re-tuned from scratch.
+	inst, _, err := advisor.BuildInstance("shop-era2", schema, era2,
+		advisor.Options{MaxIndexes: 6})
+	if err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(service.New(service.Config{
+		Workers: 2, DefaultBudget: 2 * time.Second, MaxBudget: 10 * time.Second,
+	}).Handler())
+	defer srv.Close()
+
+	fmt.Println("=== online re-solve session (era 2 workload) ===")
+	var sess struct {
+		ID   string   `json:"id"`
+		Plan []string `json:"plan"`
+	}
+	post(srv, "/sessions", map[string]any{"instance": inst, "budget": "5s"}, &sess)
+	fmt.Printf("session %s pinned plan: %v\n", sess.ID, sess.Plan)
+
+	// The segmentation push triples segment_value's weight: weight-only
+	// drift, re-solved warm-started from the pinned plan.
+	var delta struct {
+		Plan     []string `json:"plan"`
+		TailFrom int      `json:"tail_from"`
+		Tail     []string `json:"tail"`
+		Result   *struct {
+			WarmStarted bool `json:"warm_started"`
+		} `json:"result"`
+	}
+	post(srv, "/sessions/"+sess.ID+"/delta",
+		map[string]any{"weights": map[string]float64{"segment_value": 3}}, &delta)
+	fmt.Printf("weight drift: warm_started=%v, plan keeps %d-index prefix, re-schedules tail %v\n",
+		delta.Result != nil && delta.Result.WarmStarted, delta.TailFrom, delta.Tail)
+
+	// The first index goes live; the session projects it out and the plan
+	// shrinks to what is still to build.
+	if len(delta.Plan) > 0 {
+		built := delta.Plan[0]
+		post(srv, "/sessions/"+sess.ID+"/delta",
+			map[string]any{"built": []string{built}}, &delta)
+		fmt.Printf("after building %s: remaining plan %v\n", built, delta.Plan)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/"+sess.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("session closed")
+}
+
+// post sends a JSON body and decodes the JSON response, panicking on
+// any failure — example-grade error handling.
+func post(srv *httptest.Server, path string, body, out any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		panic(fmt.Sprintf("POST %s: %s: %s", path, resp.Status, msg.String()))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
 	}
 }

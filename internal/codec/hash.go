@@ -164,6 +164,71 @@ func CanonicalHash(in *model.Instance) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// StructuralHash returns the hex SHA-256 of the instance's *structure*:
+// index names, query names, plan shapes (query name plus index-name
+// set), build-interaction pairs and precedence pairs — with every float
+// parameter (create costs, runtimes, weights, speedups) left out.
+// Parameter-only drift (reweighted queries, re-priced costs) keeps the
+// structural hash stable while CanonicalHash changes; the solve service
+// uses it to find a previous incumbent for the same structure and seed
+// the re-solve with it instead of starting cold. The instance must be
+// valid.
+func StructuralHash(in *model.Instance) string {
+	var b strings.Builder
+	ixNames := make([]string, len(in.Indexes))
+	for i, ix := range in.Indexes {
+		ixNames[i] = ix.Name
+	}
+	sortedIx := append([]string(nil), ixNames...)
+	sort.Strings(sortedIx)
+	b.WriteString("ix:")
+	b.WriteString(strings.Join(sortedIx, "\x01"))
+
+	qNames := make([]string, len(in.Queries))
+	for q, qu := range in.Queries {
+		qNames[q] = qu.Name
+	}
+	sortedQ := append([]string(nil), qNames...)
+	sort.Strings(sortedQ)
+	b.WriteString("\x00q:")
+	b.WriteString(strings.Join(sortedQ, "\x01"))
+
+	pairKey := func(refs []int) string {
+		parts := make([]string, len(refs))
+		for k, i := range refs {
+			parts[k] = ixNames[i]
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	plans := make([]string, len(in.Plans))
+	for pi, p := range in.Plans {
+		plans[pi] = qNames[p.Query] + "@" + pairKey(p.Indexes)
+	}
+	sort.Strings(plans)
+	b.WriteString("\x00p:")
+	b.WriteString(strings.Join(plans, "\x01"))
+
+	builds := make([]string, len(in.BuildInteractions))
+	for bi, bld := range in.BuildInteractions {
+		builds[bi] = ixNames[bld.Target] + "<-" + ixNames[bld.Helper]
+	}
+	sort.Strings(builds)
+	b.WriteString("\x00b:")
+	b.WriteString(strings.Join(builds, "\x01"))
+
+	precs := make([]string, len(in.Precedences))
+	for pi, pr := range in.Precedences {
+		precs[pi] = ixNames[pr.Before] + "<" + ixNames[pr.After]
+	}
+	sort.Strings(precs)
+	b.WriteString("\x00pr:")
+	b.WriteString(strings.Join(precs, "\x01"))
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
 // fstr formats a float so that equal values stringify equally and the
 // round trip is exact.
 func fstr(v float64) string {

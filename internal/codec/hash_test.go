@@ -157,3 +157,61 @@ func identity(n int) []int {
 	}
 	return p
 }
+
+// TestStructuralHash pins the delta-aware cache key contract: parameter
+// drift (weights, runtimes, costs, speedups) keeps the structural hash
+// stable, relabeling keeps it stable, and structural edits (rename,
+// add/drop an index, new precedence) change it.
+func TestStructuralHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := randgen.New(rng, randgen.DefaultConfig())
+	base := StructuralHash(in)
+	if base == StructuralHash(&model.Instance{}) {
+		t.Fatal("structural hash ignores the instance entirely")
+	}
+
+	// Parameter-only drift: same structure.
+	drifts := map[string]func(*model.Instance){
+		"weight":  func(m *model.Instance) { m.Queries[0].Weight = 7 },
+		"runtime": func(m *model.Instance) { m.Queries[0].Runtime *= 2 },
+		"cost":    func(m *model.Instance) { m.Indexes[0].CreateCost *= 3 },
+		"speedup": func(m *model.Instance) { m.Plans[0].Speedup *= 0.5 },
+	}
+	for name, mutate := range drifts {
+		cp := relabel(in, identity(len(in.Indexes)), identity(len(in.Queries)), rand.New(rand.NewSource(1)))
+		mutate(cp)
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("%s: mutant invalid: %v", name, err)
+		}
+		if StructuralHash(cp) != base {
+			t.Errorf("%s: parameter drift changed the structural hash", name)
+		}
+		if CanonicalHash(cp) == CanonicalHash(in) {
+			t.Errorf("%s: canonical hash missed the parameter change", name)
+		}
+	}
+
+	// Relabeling/reordering: same structure.
+	iperm := rng.Perm(len(in.Indexes))
+	qperm := rng.Perm(len(in.Queries))
+	if got := StructuralHash(relabel(in, iperm, qperm, rng)); got != base {
+		t.Error("structural hash changed under relabeling")
+	}
+
+	// Structural edits: different hash.
+	edits := map[string]func(*model.Instance){
+		"rename":    func(m *model.Instance) { m.Indexes[0].Name += "_x" },
+		"drop-plan": func(m *model.Instance) { m.Plans = m.Plans[1:] },
+		"add-prec":  func(m *model.Instance) { m.Precedences = append(m.Precedences, model.Precedence{Before: 0, After: 1}) },
+	}
+	for name, mutate := range edits {
+		cp := relabel(in, identity(len(in.Indexes)), identity(len(in.Queries)), rand.New(rand.NewSource(1)))
+		mutate(cp)
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("%s: mutant invalid: %v", name, err)
+		}
+		if StructuralHash(cp) == base {
+			t.Errorf("%s: structural edit kept the structural hash", name)
+		}
+	}
+}

@@ -11,8 +11,10 @@ package evolve
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/evolving-olap/idd/internal/advisor"
+	"github.com/evolving-olap/idd/internal/constraint"
 	"github.com/evolving-olap/idd/internal/dbsim"
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/sched"
@@ -78,8 +80,10 @@ func Run(rounds []Round, opt Options) ([]Step, error) {
 
 		// Survivors must still be valid for the (possibly evolved)
 		// schema; an index on a dropped table or column dies with it.
-		for name, d := range deployed {
-			if d.Validate(r.Schema) != nil {
+		// Iterate in sorted name order so the step output is
+		// deterministic (map range order varies run-to-run).
+		for _, name := range sortedNames(deployed) {
+			if deployed[name].Validate(r.Schema) != nil {
 				delete(deployed, name)
 			}
 		}
@@ -92,9 +96,9 @@ func Run(rounds []Round, opt Options) ([]Step, error) {
 			full = append(full, d)
 		}
 		var dropped []dbsim.IndexDef
-		for name, d := range deployed {
+		for _, name := range sortedNames(deployed) {
 			if _, ok := want[name]; !ok {
-				dropped = append(dropped, d)
+				dropped = append(dropped, deployed[name])
 				delete(deployed, name)
 			}
 		}
@@ -116,7 +120,14 @@ func Run(rounds []Round, opt Options) ([]Step, error) {
 			_, have := deployed[d.Name()]
 			isNew[i] = !have
 		}
-		delta, newDefs := projectDelta(inst, defs, isNew)
+		delta, kept, err := ProjectDelta(inst, isNew)
+		if err != nil {
+			return steps, fmt.Errorf("evolve: round %s: %w", r.Name, err)
+		}
+		newDefs := make([]dbsim.IndexDef, len(kept))
+		for i, orig := range kept {
+			newDefs[i] = defs[orig]
+		}
 		step.RuntimeBefore = delta.BaseRuntime()
 		if delta.N() == 0 {
 			step.RuntimeAfter = step.RuntimeBefore
@@ -143,10 +154,19 @@ func Run(rounds []Round, opt Options) ([]Step, error) {
 	return steps, nil
 }
 
+func sortedNames(m map[string]dbsim.IndexDef) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func deployedDefs(m map[string]dbsim.IndexDef) []dbsim.IndexDef {
 	out := make([]dbsim.IndexDef, 0, len(m))
-	for _, d := range m {
-		out = append(out, d)
+	for _, name := range sortedNames(m) {
+		out = append(out, m[name])
 	}
 	return out
 }
@@ -168,15 +188,22 @@ func workloadRuntime(sim *dbsim.Sim, queries []*sql.Query, have []dbsim.IndexDef
 	return sum
 }
 
-// projectDelta turns a full-design ordering instance into the
-// delta-deployment instance: already-deployed indexes are treated as
-// built from time zero — their plans lower the baseline runtimes, their
-// helper discounts fold into create costs — and only new indexes remain
-// as decisions. The same construction underlies the recovery use case.
-func projectDelta(full *model.Instance, defs []dbsim.IndexDef, isNew []bool) (*model.Instance, []dbsim.IndexDef) {
+// ProjectDelta turns a full-design ordering instance into the
+// delta-deployment instance: indexes with isNew[i] == false are treated
+// as already built from time zero — their plans lower the baseline
+// runtimes, their helper discounts fold into create costs — and only new
+// indexes remain as decisions. It returns the projected instance and
+// kept, where kept[j] is the position in full of the delta's index j.
+// The same construction underlies both the batch driver and the service
+// session path, so an inconsistent projection is reported as an error
+// rather than a panic.
+func ProjectDelta(full *model.Instance, isNew []bool) (*model.Instance, []int, error) {
+	if len(isNew) != full.N() {
+		return nil, nil, fmt.Errorf("evolve: isNew has %d entries for %d indexes", len(isNew), full.N())
+	}
 	remap := make([]int, full.N())
 	out := &model.Instance{Name: full.Name + "-delta"}
-	var newDefs []dbsim.IndexDef
+	var kept []int
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -184,7 +211,7 @@ func projectDelta(full *model.Instance, defs []dbsim.IndexDef, isNew []bool) (*m
 		if isNew[i] {
 			remap[i] = len(out.Indexes)
 			out.Indexes = append(out.Indexes, full.Indexes[i])
-			newDefs = append(newDefs, defs[i])
+			kept = append(kept, i)
 		}
 	}
 	// Baseline runtime per query: best plan among already-deployed-only
@@ -261,7 +288,135 @@ func projectDelta(full *model.Instance, defs []dbsim.IndexDef, isNew []bool) (*m
 		}
 	}
 	if err := out.Validate(); err != nil {
-		panic("evolve: projected delta invalid: " + err.Error())
+		return nil, nil, fmt.Errorf("evolve: projected delta invalid: %w", err)
 	}
-	return out, newDefs
+	return out, kept, nil
+}
+
+// RepairOrder adapts a previous deployment order (index names, earliest
+// first) to a drifted instance: names that no longer exist are dropped,
+// survivors keep their relative order, and indexes new to the instance
+// are greedy-inserted one at a time at the objective-minimising feasible
+// position. The result is a feasible warm-start order for in; callers
+// fall back to a cold start when repair fails (e.g. the surviving
+// prefix violates the instance's precedences).
+func RepairOrder(in *model.Instance, prior []string) ([]string, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("evolve: repair: %w", err)
+	}
+	n := in.N()
+	if n == 0 {
+		return nil, nil
+	}
+	pos := make(map[string]int, n)
+	for i, ix := range in.Indexes {
+		pos[ix.Name] = i
+	}
+	inPrior := make([]bool, n)
+	order := make([]int, 0, n)
+	for _, name := range prior {
+		if i, ok := pos[name]; ok && !inPrior[i] {
+			inPrior[i] = true
+			order = append(order, i)
+		}
+	}
+	var added []int
+	for i := 0; i < n; i++ {
+		if !inPrior[i] {
+			added = append(added, i)
+		}
+	}
+	c, err := model.Compile(in)
+	if err != nil {
+		return nil, fmt.Errorf("evolve: repair: %w", err)
+	}
+	cs := sched.PrecedenceSet(in)
+	// Complete the permutation first (new indexes go to the tail), then
+	// reposition each new index where it helps most.
+	order = append(order, added...)
+	if repaired := stableTopo(order, cs); repaired == nil {
+		return nil, fmt.Errorf("evolve: repair: prior order cannot be made precedence-feasible")
+	} else {
+		order = repaired
+	}
+	for _, ix := range added {
+		order = bestReinsert(c, cs, order, ix)
+	}
+	if !compatible(cs, order) {
+		return nil, fmt.Errorf("evolve: repair: no precedence-feasible completion")
+	}
+	names := make([]string, n)
+	for k, ix := range order {
+		names[k] = in.Indexes[ix].Name
+	}
+	return names, nil
+}
+
+// stableTopo reorders order into a cs-compatible permutation that keeps
+// the given relative order wherever the constraints allow, or nil when
+// the constraints are cyclic over these items.
+func stableTopo(order []int, cs *constraint.Set) []int {
+	if compatible(cs, order) {
+		return order
+	}
+	n := len(order)
+	used := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		picked := -1
+		for _, it := range order {
+			if used[it] {
+				continue
+			}
+			ready := true
+			cs.Predecessors(it).ForEach(func(p int) bool {
+				if !used[p] {
+					ready = false
+					return false
+				}
+				return true
+			})
+			if ready {
+				picked = it
+				break
+			}
+		}
+		if picked < 0 {
+			return nil
+		}
+		used[picked] = true
+		out = append(out, picked)
+	}
+	return out
+}
+
+// bestReinsert moves item ix to the feasible position in order that
+// minimises the deployment objective; order must already contain ix.
+func bestReinsert(c *model.Compiled, cs *constraint.Set, order []int, ix int) []int {
+	base := make([]int, 0, len(order)-1)
+	for _, it := range order {
+		if it != ix {
+			base = append(base, it)
+		}
+	}
+	best := append([]int(nil), order...)
+	bestObj := c.Objective(order)
+	cand := make([]int, len(order))
+	for p := 0; p <= len(base); p++ {
+		copy(cand[:p], base[:p])
+		cand[p] = ix
+		copy(cand[p+1:], base[p:])
+		if !compatible(cs, cand) {
+			continue
+		}
+		if obj := c.Objective(cand); obj < bestObj {
+			bestObj = obj
+			copy(best, cand)
+		}
+	}
+	return best
+}
+
+func compatible(cs *constraint.Set, order []int) bool {
+	return cs == nil || cs.Compatible(order)
 }

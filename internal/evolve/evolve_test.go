@@ -1,10 +1,13 @@
 package evolve
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/evolving-olap/idd/internal/advisor"
+	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/sql"
 )
 
@@ -178,6 +181,127 @@ func TestSchemaEvolutionInvalidatesIndexes(t *testing.T) {
 		if d.Table == "users" {
 			t.Errorf("deployed index on dropped table: %s", d.Name())
 		}
+	}
+}
+
+// TestRunIsDeterministic pins the fix for the unordered map iteration
+// over the deployed set: with the same seed, ten runs must produce
+// byte-identical steps (including Dropped order and runtime numbers).
+func TestRunIsDeterministic(t *testing.T) {
+	render := func() string {
+		steps, err := Run(rounds(), Options{
+			Advisor:    advisor.Options{MaxIndexes: 6},
+			OrderSteps: 2000,
+			Rng:        rand.New(rand.NewSource(1)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, st := range steps {
+			delta := "<nil>"
+			if st.Delta != nil {
+				delta = fmt.Sprintf("%+v", *st.Delta)
+			}
+			fmt.Fprintf(&b, "%s deployed=%+v dropped=%+v obj=%v rt=%v/%v delta=%s\n",
+				st.Round, st.Deployed, st.Dropped, st.Objective,
+				st.RuntimeBefore, st.RuntimeAfter, delta)
+		}
+		return b.String()
+	}
+	want := render()
+	for i := 1; i < 10; i++ {
+		if got := render(); got != want {
+			t.Fatalf("run %d differs:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func projTestInstance() *model.Instance {
+	return &model.Instance{
+		Name: "proj",
+		Indexes: []model.Index{
+			{Name: "a", CreateCost: 10},
+			{Name: "b", CreateCost: 20},
+			{Name: "c", CreateCost: 30},
+		},
+		Queries: []model.Query{{Name: "q", Runtime: 100}},
+		Plans: []model.Plan{
+			{Query: 0, Indexes: []int{0}, Speedup: 30},
+			{Query: 0, Indexes: []int{1, 2}, Speedup: 60},
+		},
+		BuildInteractions: []model.BuildInteraction{
+			{Target: 2, Helper: 0, Speedup: 5},
+		},
+		Precedences: []model.Precedence{{Before: 1, After: 2}},
+	}
+}
+
+func TestProjectDelta(t *testing.T) {
+	in := projTestInstance()
+	// "a" is already deployed: its plan lowers the baseline, its helper
+	// discount folds into c's create cost, and only b and c remain.
+	delta, kept, err := ProjectDelta(in, []bool{false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0] != 1 || kept[1] != 2 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if delta.N() != 2 {
+		t.Fatalf("delta has %d indexes", delta.N())
+	}
+	if got := delta.Queries[0].Runtime; got != 70 {
+		t.Errorf("baseline runtime = %v, want 70 (a's plan applied)", got)
+	}
+	if got := delta.Indexes[1].CreateCost; got != 25 {
+		t.Errorf("c create cost = %v, want 25 (helper discount folded)", got)
+	}
+	if len(delta.Precedences) != 1 || delta.Precedences[0].Before != 0 || delta.Precedences[0].After != 1 {
+		t.Errorf("precedences = %+v", delta.Precedences)
+	}
+}
+
+func TestProjectDeltaErrors(t *testing.T) {
+	in := projTestInstance()
+	if _, _, err := ProjectDelta(in, []bool{true}); err == nil {
+		t.Fatal("mismatched isNew accepted")
+	}
+}
+
+func TestRepairOrder(t *testing.T) {
+	in := projTestInstance()
+	// Prior plan mentions a dropped index ("z") and misses "c": z is
+	// dropped, survivors keep relative order, c is inserted feasibly.
+	names, err := RepairOrder(in, []string{"b", "z", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	posOf := map[string]int{}
+	for i, n := range names {
+		posOf[n] = i
+	}
+	if posOf["b"] > posOf["a"] {
+		t.Errorf("survivor order not kept: %v", names)
+	}
+	if posOf["b"] > posOf["c"] {
+		t.Errorf("precedence b<c violated: %v", names)
+	}
+
+	// A prior order that contradicts the precedences is still repaired
+	// (stable topological reorder), not rejected.
+	names, err = RepairOrder(in, []string{"c", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		posOf[n] = i
+	}
+	if posOf["b"] > posOf["c"] {
+		t.Errorf("repair left precedence violated: %v", names)
 	}
 }
 

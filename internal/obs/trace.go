@@ -18,6 +18,10 @@ const (
 	SpanDone         = "done"
 	SpanCacheHit     = "cache-hit"
 	SpanError        = "error"
+	// SpanWarmStart records warm-start admission on re-solves: the detail
+	// says whether the prior incumbent seeded the run or was rejected
+	// (infeasible under the new instance) and the run degraded to cold.
+	SpanWarmStart = "warm-start"
 )
 
 // Span is one timestamped event in a solve's flight-recorder trace.

@@ -11,16 +11,21 @@ package service
 // one "queued", at most one "started", any number of "incumbent" /
 // "backend" in solve order, at most one "proved", and a final "done".
 // Batch streams use "queued", one "item" per finished sub-solve, and a
-// final "batch_done".
+// final "batch_done". Session streams use one "plan" for the initial
+// deployment plan, one "delta" per applied workload delta (carrying
+// only the changed tail of the plan), and a final "session_closed".
 const (
-	EventQueued    = "queued"
-	EventStarted   = "started"
-	EventIncumbent = "incumbent"
-	EventBackend   = "backend"
-	EventProved    = "proved"
-	EventDone      = "done"
-	EventItem      = "item"
-	EventBatchDone = "batch_done"
+	EventQueued        = "queued"
+	EventStarted       = "started"
+	EventIncumbent     = "incumbent"
+	EventBackend       = "backend"
+	EventProved        = "proved"
+	EventDone          = "done"
+	EventItem          = "item"
+	EventBatchDone     = "batch_done"
+	EventPlan          = "plan"
+	EventDelta         = "delta"
+	EventSessionClosed = "session_closed"
 )
 
 // Event is one entry of a job's progress stream. Seq is contiguous from
@@ -48,6 +53,16 @@ type Event struct {
 	// JobID the per-item job whose /jobs endpoints hold the details.
 	Item  *int   `json:"item,omitempty"`
 	JobID string `json:"job_id,omitempty"`
+	// Session stream fields: Revision counts applied deltas (0 = the
+	// initial solve), Names is the deployment plan by index name — the
+	// full plan on "plan" events, only the changed tail on "delta"
+	// events (TailFrom is the position the tail starts at; the plan
+	// prefix before it is unchanged from the previous revision).
+	// WarmStarted mirrors the underlying solve's warm-start flag.
+	Revision    *int     `json:"revision,omitempty"`
+	Names       []string `json:"names,omitempty"`
+	TailFrom    *int     `json:"tail_from,omitempty"`
+	WarmStarted bool     `json:"warm_started,omitempty"`
 }
 
 // eventSource is any ordered event log an SSE handler can stream: jobs

@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -114,6 +116,10 @@ var (
 	ErrUnknownJob      = errors.New("service: unknown job")
 	ErrJobDone         = errors.New("service: job already finished")
 	ErrUnknownBatch    = errors.New("service: unknown batch")
+	ErrUnknownSession  = errors.New("service: unknown session")
+	ErrSessionClosed   = errors.New("service: session closed")
+	ErrSessionBusy     = errors.New("service: session has a delta in flight")
+	ErrTooManySessions = errors.New("service: too many active sessions")
 )
 
 // InvalidError wraps client-side request problems (400s).
@@ -301,6 +307,15 @@ type run struct {
 	// params.Params.
 	bag    backend.Params
 	budget time.Duration
+	// structHash fingerprints the instance's structure only (index
+	// names, plan shapes — no float parameters), keying the warm-hint
+	// table so parameter-only drift can reuse a previous incumbent.
+	structHash string
+	// initial, when non-nil, seeds the solve with a warm-start order in
+	// canonical index space; warmHint marks seeds recovered from the
+	// structural-hash hint table rather than an explicit warm submission.
+	initial  []int
+	warmHint bool
 	// tenant is the first submitter's tenant: it decides which DRR queue
 	// the run waits in (later attachers from other tenants share the
 	// solve but not the queue slot).
@@ -387,6 +402,18 @@ func (r *run) recordSpan(ev portfolio.ProgressEvent) {
 	}
 }
 
+// recordWarm writes the warm-start admission span into every attached
+// job's trace.
+func (r *run) recordWarm(detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		if j.trace != nil {
+			j.trace.RecordBackend(obs.SpanWarmStart, "", detail)
+		}
+	}
+}
+
 // runQueue is a max-heap on (priority, FIFO seq).
 type runQueue []*run
 
@@ -422,7 +449,13 @@ type Manager struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *lruCache
-	router  *portfolio.Router
+	// hints maps a structural hash to the index-name order of the last
+	// finished solve with that structure: the delta-aware half of the
+	// cache. A weight-only change misses the full solve key (the
+	// canonical hash moved) but hits here, and the old incumbent seeds
+	// the re-solve as a warm start instead of starting cold.
+	hints  *hintCache
+	router *portfolio.Router
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -434,12 +467,14 @@ type Manager struct {
 	inflight map[string]*run
 	jobs     map[string]*Job
 	batches  map[string]*Batch
+	sessions map[string]*Session
 	// finished is the FIFO of terminal job ids; beyond MaxFinishedJobs
 	// the oldest are dropped from the jobs map so a long-running server
 	// does not retain every request's event history forever.
-	// finishedBatches is the same for batches.
+	// finishedBatches/closedSessions are the same for batches/sessions.
 	finished        []string
 	finishedBatches []string
+	closedSessions  []string
 	seq             int64
 	running         int
 	draining        bool
@@ -455,11 +490,13 @@ func NewManager(cfg Config) *Manager {
 		inflight: make(map[string]*run),
 		jobs:     make(map[string]*Job),
 		batches:  make(map[string]*Batch),
+		sessions: make(map[string]*Session),
 		buckets:  make(map[string]*tokenBucket),
 	}
 	m.router = portfolio.NewRouter(m.cfg.FastPathMaxN)
 	m.sched = newTenantSched(m.cfg.DefaultBudget.Seconds())
 	m.cache = newLRUCache(m.cfg.CacheSize)
+	m.hints = newHintCache(m.cfg.CacheSize)
 	m.metrics.bindGauges(m)
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
@@ -525,6 +562,40 @@ func solveKey(hash string, p Params, bag backend.Params, budget time.Duration) s
 		hash, budget, p.Backends, p.Workers, p.Seed, p.StepLimit, p.pruneEnabled(), bag.Canon())
 }
 
+// canonicalOrder maps an index-name order onto canonical positions of
+// canon: every index exactly once, unknown or repeated names rejected.
+func canonicalOrder(canon *model.Instance, names []string) ([]int, error) {
+	if len(names) != len(canon.Indexes) {
+		return nil, fmt.Errorf("warm order names %d indexes, instance has %d",
+			len(names), len(canon.Indexes))
+	}
+	pos := make(map[string]int, len(canon.Indexes))
+	for i, ix := range canon.Indexes {
+		pos[ix.Name] = i
+	}
+	out := make([]int, len(names))
+	seen := make([]bool, len(names))
+	for k, name := range names {
+		i, ok := pos[name]
+		if !ok {
+			return nil, fmt.Errorf("warm order names unknown index %q", name)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("warm order repeats index %q", name)
+		}
+		seen[i] = true
+		out[k] = i
+	}
+	return out, nil
+}
+
+// orderFingerprint is a short stable digest of a name order, the
+// warm-start component of the solve key.
+func orderFingerprint(names []string) string {
+	sum := sha256.Sum256([]byte(strings.Join(names, "\x00")))
+	return hex.EncodeToString(sum[:8])
+}
+
 // normalizeTenant validates the request's tenant id, defaulting empty
 // to the shared tenant.
 func normalizeTenant(t string) (string, error) {
@@ -543,13 +614,31 @@ func normalizeTenant(t string) (string, error) {
 // run under the request's tenant. The returned job is already
 // registered and observable.
 func (m *Manager) Submit(in *model.Instance, p Params) (*Job, error) {
-	return m.submit(in, p, false)
+	return m.submitWarm(in, p, nil, false)
+}
+
+// SubmitWarm is Submit with an explicit warm start: warmNames is a
+// deployment order over the instance's index names (every index exactly
+// once, earliest first) that seeds the solve's incumbent store. The
+// warm order enters the solve key, so a warm re-solve never dedupes
+// against a cold solve of the same instance; if the seed turns out
+// infeasible under the solve's constraint set the run degrades to a
+// cold start (recorded as warm_start_rejected) instead of failing.
+func (m *Manager) SubmitWarm(in *model.Instance, p Params, warmNames []string) (*Job, error) {
+	if len(warmNames) == 0 {
+		return nil, invalidf("warm start carries no order")
+	}
+	return m.submitWarm(in, p, warmNames, false)
 }
 
 // submit is Submit with batch admission control: batch items skip the
 // per-item rate-limit charge because SubmitBatch already charged the
 // whole batch up front.
 func (m *Manager) submit(in *model.Instance, p Params, preAdmitted bool) (*Job, error) {
+	return m.submitWarm(in, p, nil, preAdmitted)
+}
+
+func (m *Manager) submitWarm(in *model.Instance, p Params, warmNames []string, preAdmitted bool) (*Job, error) {
 	if in == nil {
 		return nil, invalidf("request carries no instance")
 	}
@@ -577,12 +666,27 @@ func (m *Manager) submit(in *model.Instance, p Params, preAdmitted bool) (*Job, 
 
 	canon, perm := codec.Canonicalize(in)
 	hash := codec.CanonicalHash(canon)
+	structHash := codec.StructuralHash(canon)
 	origOf := make([]int, len(perm))
 	for i, c := range perm {
 		origOf[c] = i
 	}
 	budget := m.clampBudget(p.Budget)
 	key := solveKey(hash, p, bag, budget)
+
+	// An explicit warm order becomes part of the key (two re-solves with
+	// different seeds may legitimately diverge on heuristic instances),
+	// while hint-derived seeds below keep the cold key: their result is
+	// the answer to the cold request too.
+	var initial []int
+	if warmNames != nil {
+		ord, err := canonicalOrder(canon, warmNames)
+		if err != nil {
+			return nil, &InvalidError{Err: err}
+		}
+		initial = ord
+		key += "|ws=" + orderFingerprint(warmNames)
+	}
 
 	j := &Job{
 		ID:       newJobID(),
@@ -663,7 +767,20 @@ func (m *Manager) submit(in *model.Instance, p Params, preAdmitted bool) (*Job, 
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	r := &run{
 		key: key, canon: canon, params: p, bag: bag, budget: budget,
+		structHash: structHash, initial: initial,
 		tenant: tenant, priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
+	}
+	if r.initial == nil {
+		// Delta-aware cache: a full-key miss whose structure matches a
+		// previously solved instance (weight/cost drift only) reuses that
+		// solve's final order as a warm start instead of starting cold.
+		if names, ok := m.hints.get(structHash); ok {
+			if ord, err := canonicalOrder(canon, names); err == nil {
+				r.initial = ord
+				r.warmHint = true
+				m.metrics.warmHintHits.Add(1)
+			}
+		}
 	}
 	m.seq++
 	r.jobs = []*Job{j}
@@ -823,6 +940,31 @@ func (m *Manager) execute(r *run) {
 		cs, _ = prune.Analyze(c, prune.Options{})
 	}
 
+	// Warm-start admission: the seed must be feasible under the final
+	// constraint set (the pruning analysis may have added precedence
+	// edges the prior incumbent never saw — RepairInitial reorders it
+	// stably against them). A seed that cannot be repaired degrades the
+	// run to a cold start instead of failing the attached jobs.
+	initial := r.initial
+	warmStarted := false
+	if initial != nil {
+		repaired, werr := portfolio.RepairInitial(c, cs, initial)
+		if werr != nil {
+			m.metrics.warmRejected.Add(1)
+			r.recordWarm("rejected: " + werr.Error())
+			initial = nil
+		} else {
+			initial = repaired
+			warmStarted = true
+			m.metrics.warmStarts.Add(1)
+			if r.warmHint {
+				r.recordWarm("seeded (structural-hash hint)")
+			} else {
+				r.recordWarm("seeded")
+			}
+		}
+	}
+
 	// Server-wide default params underlay the request's own bag; any key
 	// the request sets wins.
 	bag := r.bag
@@ -839,6 +981,7 @@ func (m *Manager) execute(r *run) {
 		StepLimit: r.params.StepLimit,
 		Params:    bag,
 		Seed:      r.params.Seed,
+		Initial:   initial,
 		OnProgress: func(ev portfolio.ProgressEvent) {
 			r.recordSpan(ev)
 			if ev.Kind == portfolio.ProgressBackendStarted {
@@ -901,13 +1044,14 @@ func (m *Manager) execute(r *run) {
 	m.router.Observe(features, res.Winner, res.Proved, wall)
 
 	result := &SolveResult{
-		Order:     res.Order,
-		Objective: res.Objective,
-		Proved:    res.Proved,
-		Winner:    res.Winner,
-		Routed:    routed,
-		Wall:      Duration(wall),
-		Backends:  make([]BackendSummary, 0, len(res.Backends)),
+		Order:       res.Order,
+		Objective:   res.Objective,
+		Proved:      res.Proved,
+		Winner:      res.Winner,
+		Routed:      routed,
+		WarmStarted: warmStarted,
+		Wall:        Duration(wall),
+		Backends:    make([]BackendSummary, 0, len(res.Backends)),
 	}
 	result.Names = make([]string, len(res.Order))
 	for k, ix := range res.Order {
@@ -938,6 +1082,11 @@ func (m *Manager) execute(r *run) {
 	// truncated incumbent under-serves future identical requests.
 	if r.ctx.Err() == nil || res.Proved {
 		m.cache.put(r.key, result)
+	}
+	// Any finished order — even a truncated incumbent — is a useful warm
+	// seed for the next structurally identical request.
+	if len(result.Names) > 0 {
+		m.hints.put(r.structHash, result.Names)
 	}
 	m.metrics.recordSolve(res.Winner, res.Proved, wall)
 

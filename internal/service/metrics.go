@@ -45,6 +45,17 @@ type Metrics struct {
 	batchesSubmitted *obs.Counter
 	batchItems       *obs.Counter
 
+	// Warm-start accounting: warmStarts counts solves seeded with a
+	// prior incumbent, warmRejected seeds found infeasible (the run
+	// degraded to a cold start), warmHintHits full-key cache misses
+	// rescued by the structural-hash hint table.
+	warmStarts   *obs.Counter
+	warmRejected *obs.Counter
+	warmHintHits *obs.Counter
+
+	sessionsCreated *obs.Counter
+	sessionDeltas   *obs.Counter
+
 	// Per-tenant accounting, labeled by tenant id.
 	tenantSubmitted *obs.CounterVec
 	tenantCompleted *obs.CounterVec
@@ -86,6 +97,13 @@ func newMetrics() *Metrics {
 
 		batchesSubmitted: reg.Counter("idd_batches_submitted_total", "Batch requests accepted."),
 		batchItems:       reg.Counter("idd_batch_items_total", "Instances submitted through batch requests."),
+
+		warmStarts:   reg.Counter("idd_warm_starts_total", "Solves seeded with a prior incumbent order."),
+		warmRejected: reg.Counter("idd_warm_start_rejected_total", "Warm-start seeds rejected as infeasible; the solve degraded to a cold start."),
+		warmHintHits: reg.Counter("idd_warm_hint_hits_total", "Cache misses rescued by the structural-hash warm-hint table."),
+
+		sessionsCreated: reg.Counter("idd_sessions_created_total", "Re-solve sessions created."),
+		sessionDeltas:   reg.Counter("idd_session_deltas_total", "Workload deltas applied to re-solve sessions."),
 
 		tenantSubmitted: reg.CounterVec("idd_tenant_jobs_submitted_total", "Jobs accepted, by tenant.", "tenant"),
 		tenantCompleted: reg.CounterVec("idd_tenant_jobs_completed_total", "Jobs finished with a result, by tenant.", "tenant"),
@@ -206,6 +224,21 @@ type MetricsSnapshot struct {
 		Items     int64 `json:"items"`
 	} `json:"batches"`
 
+	// WarmStarts is warm-start admission accounting: Seeded solves ran
+	// from a prior incumbent, Rejected seeds were infeasible under the
+	// new instance (those solves degraded to cold starts), HintHits are
+	// cache misses rescued by the structural-hash hint table.
+	WarmStarts struct {
+		Seeded   int64 `json:"seeded"`
+		Rejected int64 `json:"rejected"`
+		HintHits int64 `json:"hint_hits"`
+	} `json:"warm_starts"`
+
+	Sessions struct {
+		Created int64 `json:"created"`
+		Deltas  int64 `json:"deltas"`
+	} `json:"sessions"`
+
 	Solves struct {
 		Count  int64 `json:"count"`
 		Proved int64 `json:"proved"`
@@ -293,6 +326,13 @@ func (m *Metrics) snapshot(workers, queueDepth, queueCap, running, cacheSize, ca
 
 	s.Batches.Submitted = m.batchesSubmitted.Value()
 	s.Batches.Items = m.batchItems.Value()
+
+	s.WarmStarts.Seeded = m.warmStarts.Value()
+	s.WarmStarts.Rejected = m.warmRejected.Value()
+	s.WarmStarts.HintHits = m.warmHintHits.Value()
+
+	s.Sessions.Created = m.sessionsCreated.Value()
+	s.Sessions.Deltas = m.sessionDeltas.Value()
 
 	s.Solves.Count = m.solves.Value()
 	s.Solves.Proved = m.solvesProved.Value()

@@ -40,6 +40,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /batch/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /batch/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /batch/{id}/trace", s.handleBatchTrace)
+	mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /sessions/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("GET /sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -87,10 +92,14 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownBatch):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownBatch),
+		errors.Is(err, ErrUnknownSession):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrJobDone):
+	case errors.Is(err, ErrJobDone), errors.Is(err, ErrSessionClosed),
+		errors.Is(err, ErrSessionBusy):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrTooManySessions):
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
@@ -504,6 +513,80 @@ func (s *Server) handleBatchTrace(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionCreate accepts the same request shapes as POST /solve,
+// runs the initial solve synchronously and answers 201 with the session
+// status (its deployment plan included).
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	in, p, err := s.parseRequest(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	applyTenant(r, &p)
+	sess, err := s.m.CreateSession(r.Context(), in, p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+sess.ID)
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.m.GetSession(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownSession)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+// handleSessionDelta applies a workload delta, re-solves warm-started
+// from the previous incumbent, and answers with the new session status
+// plus the changed tail of the plan.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer limited.Close()
+	dec := json.NewDecoder(limited)
+	dec.DisallowUnknownFields()
+	var d SessionDelta
+	if err := dec.Decode(&d); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, err)
+			return
+		}
+		writeErr(w, invalidf("parse session delta: %v", err))
+		return
+	}
+	out, err := s.m.SessionDelta(r.Context(), r.PathValue("id"), d)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionEvents streams the session's plan revisions as
+// server-sent events over the same replayable protocol as job streams.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.m.GetSession(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrUnknownSession)
+		return
+	}
+	streamEvents(w, r, sess)
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.m.CloseSession(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
 }
 
 // SolverInfo is one entry of GET /solvers: a registered backend's

@@ -21,6 +21,15 @@
 // backend (falling back to the race if the proof doesn't land), which
 // returns the identical proved optimum at a fraction of the overhead.
 //
+// Re-solve sessions make workload drift a first-class operation: a
+// session holds an instance and its deployed plan; POST deltas (query
+// weight changes, index adds/drops, new plans/precedences) re-solve
+// warm-started from the previous incumbent, repaired against the delta,
+// and the session's SSE stream carries only the changed tail of the
+// plan. The solution cache is delta-aware underneath: a structural hash
+// (names and shapes, no float parameters) lets a weight-only change
+// reuse the previous order as a warm seed instead of missing outright.
+//
 // Endpoints (see cmd/iddserver and the README for the wire details):
 //
 //	POST   /solve             solve synchronously (small instances)
@@ -34,6 +43,11 @@
 //	DELETE /batch/{id}        cancel every outstanding batch item
 //	GET    /batch/{id}/events server-sent events: per-item completions
 //	GET    /batch/{id}/trace  per-item flight-recorder traces
+//	POST   /sessions          create a re-solve session (initial solve)
+//	GET    /sessions/{id}     session status: plan, revision, last result
+//	POST   /sessions/{id}/delta  apply a workload delta, re-solve warm
+//	GET    /sessions/{id}/events server-sent events: changed plan tails
+//	DELETE /sessions/{id}     close the session
 //	GET    /solvers           registered backends + declared param specs
 //	GET    /healthz           liveness (503 while draining)
 //	GET    /metrics           JSON snapshot, or Prometheus text with
@@ -173,6 +187,12 @@ type SolveResult struct {
 	// sent the instance straight to one exact backend (Winner) instead
 	// of racing the portfolio, and that backend proved the optimum.
 	Routed bool `json:"routed,omitempty"`
+	// WarmStarted marks a solve seeded with a prior incumbent (an
+	// explicit session/SubmitWarm order or a structural-hash cache hint)
+	// instead of the cold greedy order. Guaranteed never worse than its
+	// seed; absent when the seed was rejected and the run degraded to a
+	// cold start.
+	WarmStarted bool `json:"warm_started,omitempty"`
 }
 
 // Job states.

@@ -124,17 +124,83 @@ func (s *Store) BetterThan(than float64) ([]int, float64) {
 }
 
 func (s *Store) feasible(order []int) bool {
-	if len(order) != s.n {
-		return false
+	return validOrder(s.n, s.cs, order) == nil
+}
+
+// ValidateInitial reports why initial cannot seed a solve of c under cs:
+// wrong length, not a permutation, or incompatible with the precedence
+// constraints. It is the single admission check for Options.Initial,
+// shared by Solve and SolveSingle, and exported so warm-start callers
+// (the service session path) can decide to degrade to a cold start
+// instead of failing the run.
+func ValidateInitial(c *model.Compiled, cs *constraint.Set, initial []int) error {
+	return validOrder(c.N, cs, initial)
+}
+
+// RepairInitial returns initial unchanged when it is already a feasible
+// seed, and otherwise attempts a stable topological reorder: items keep
+// their given relative order except where cs forces a swap. This rescues
+// warm starts whose order predates extra constraints (e.g. the pruning
+// analysis adds precedence edges a previous incumbent never saw). It
+// fails only when initial is not a permutation at all.
+func RepairInitial(c *model.Compiled, cs *constraint.Set, initial []int) ([]int, error) {
+	err := ValidateInitial(c, cs, initial)
+	if err == nil {
+		return initial, nil
 	}
-	seen := make([]bool, s.n)
+	// Only a precedence violation is repairable; re-check the shape.
+	if serr := validOrder(c.N, nil, initial); serr != nil {
+		return nil, serr
+	}
+	n := c.N
+	used := make([]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		picked := -1
+		for _, it := range initial {
+			if used[it] {
+				continue
+			}
+			ready := true
+			cs.Predecessors(it).ForEach(func(p int) bool {
+				if !used[p] {
+					ready = false
+					return false
+				}
+				return true
+			})
+			if ready {
+				picked = it
+				break
+			}
+		}
+		if picked < 0 {
+			return nil, fmt.Errorf("initial order cannot satisfy the precedence constraints")
+		}
+		used[picked] = true
+		out = append(out, picked)
+	}
+	if verr := ValidateInitial(c, cs, out); verr != nil {
+		return nil, verr
+	}
+	return out, nil
+}
+
+func validOrder(n int, cs *constraint.Set, order []int) error {
+	if len(order) != n {
+		return fmt.Errorf("initial order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
 	for _, i := range order {
-		if i < 0 || i >= s.n || seen[i] {
-			return false
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("initial order is not a permutation of 0..%d", n-1)
 		}
 		seen[i] = true
 	}
-	return s.cs == nil || s.cs.Compatible(order)
+	if cs != nil && !cs.Compatible(order) {
+		return fmt.Errorf("initial order violates precedence constraints")
+	}
+	return nil
 }
 
 // Options configures a portfolio run.
@@ -352,10 +418,10 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 	initial := opt.Initial
 	if initial == nil {
 		initial = greedy.Solve(c, cs)
-	} else if !sh.feasible(initial) {
+	} else if err := ValidateInitial(c, cs, initial); err != nil {
 		// An infeasible seed would silently poison every backend (they
 		// all start from it and prune against its objective).
-		return Result{}, fmt.Errorf("portfolio: Options.Initial is not a feasible order")
+		return Result{}, fmt.Errorf("portfolio: Options.Initial is not a feasible order: %w", err)
 	}
 	sh.Offer("seed", initial, c.Objective(initial))
 

@@ -482,3 +482,69 @@ func TestSolveCPWorkerBudget(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateInitial(t *testing.T) {
+	in := datasets.ReducedTPCH(6, datasets.Low)
+	c := model.MustCompile(in)
+	cs := constraint.NewSet(c.N)
+	cs.MustAdd(1, 0)
+	if err := ValidateInitial(c, cs, []int{1, 0, 2, 3, 4, 5}); err != nil {
+		t.Fatalf("feasible order rejected: %v", err)
+	}
+	for name, bad := range map[string][]int{
+		"short":      {0, 1, 2},
+		"duplicate":  {0, 0, 1, 2, 3, 4},
+		"precedence": sched.Identity(c.N),
+	} {
+		if err := ValidateInitial(c, cs, bad); err == nil {
+			t.Errorf("%s order accepted: %v", name, bad)
+		}
+	}
+}
+
+// TestRepairInitial: precedence violations are repaired by a stable
+// topological reorder (relative order of unconstrained pairs kept);
+// shape errors are unrepairable.
+func TestRepairInitial(t *testing.T) {
+	in := datasets.ReducedTPCH(6, datasets.Low)
+	c := model.MustCompile(in)
+	cs := constraint.NewSet(c.N)
+	cs.MustAdd(4, 0) // 4 before 0
+
+	got, err := RepairInitial(c, cs, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("repair failed: %v", err)
+	}
+	if err := ValidateInitial(c, cs, got); err != nil {
+		t.Fatalf("repaired order still infeasible: %v (%v)", got, err)
+	}
+	pos := make([]int, c.N)
+	for k, ix := range got {
+		pos[ix] = k
+	}
+	if pos[4] > pos[0] {
+		t.Fatalf("repair kept 0 before 4: %v", got)
+	}
+	// Unconstrained relative order preserved (stable reorder).
+	if !(pos[1] < pos[2] && pos[2] < pos[3] && pos[3] < pos[5]) {
+		t.Fatalf("repair shuffled unconstrained items: %v", got)
+	}
+
+	// Already-feasible orders pass through unchanged.
+	same, err := RepairInitial(c, cs, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range same {
+		if same[k] != got[k] {
+			t.Fatalf("feasible order changed: %v -> %v", got, same)
+		}
+	}
+
+	if _, err := RepairInitial(c, cs, []int{0, 1, 2}); err == nil {
+		t.Fatal("wrong-length order repaired")
+	}
+	if _, err := RepairInitial(c, cs, []int{0, 0, 1, 2, 3, 4}); err == nil {
+		t.Fatal("duplicate order repaired")
+	}
+}

@@ -273,8 +273,8 @@ func SolveSingle(ctx context.Context, c *model.Compiled, cs *constraint.Set, nam
 	initial := opt.Initial
 	if initial == nil {
 		initial = greedy.Solve(c, cs)
-	} else if !sh.feasible(initial) {
-		return Result{}, fmt.Errorf("portfolio: Options.Initial is not a feasible order")
+	} else if err := ValidateInitial(c, cs, initial); err != nil {
+		return Result{}, fmt.Errorf("portfolio: Options.Initial is not a feasible order: %w", err)
 	}
 	sh.Offer("seed", initial, c.Objective(initial))
 

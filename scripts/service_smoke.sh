@@ -57,10 +57,11 @@ test -n "$job_id"
 curl -sf --max-time 30 "http://$addr/jobs/$job_id/events" > "$workdir/events.txt"
 grep -q '^event: done' "$workdir/events.txt"
 
-# Flight recorder: a distinct solve (different budget => different cache
-# key) must leave a trace that replays the full span timeline, including
-# a non-empty incumbent curve with objectives.
-job2_id=$(printf '{"instance": %s, "budget": "19s"}' "$(cat "$workdir/r12.json")" |
+# Flight recorder: a structurally distinct solve (no cache entry, no
+# structural-hash warm hint) must leave a trace that replays the full
+# span timeline, including a non-empty incumbent curve with objectives.
+"$workdir/iddgen" -dataset tpch -reduce 11 -density low -o "$workdir/r11.json"
+job2_id=$(printf '{"instance": %s, "budget": "19s"}' "$(cat "$workdir/r11.json")" |
   curl -sf -X POST -H 'Content-Type: application/json' --data-binary @- \
     "http://$addr/jobs" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
 test -n "$job2_id"
@@ -73,14 +74,26 @@ grep -q '"kind": "incumbent"' "$workdir/trace.json"
 grep -q '"kind": "done"' "$workdir/trace.json"
 grep -q '"objective"' "$workdir/trace.json"
 
+# The same instance under a different budget misses the solution cache
+# but shares its structural hash: the warm-hint table must seed the
+# re-solve with the first solve's order, leaving a warm-start span.
+job3_id=$(printf '{"instance": %s, "budget": "19s"}' "$(cat "$workdir/r12.json")" |
+  curl -sf -X POST -H 'Content-Type: application/json' --data-binary @- \
+    "http://$addr/jobs" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
+test -n "$job3_id"
+curl -sf --max-time 30 "http://$addr/jobs/$job3_id/events" > /dev/null
+curl -sf "http://$addr/jobs/$job3_id/trace" > "$workdir/trace3.json"
+grep -q '"kind": "warm-start"' "$workdir/trace3.json"
+grep -q 'structural-hash hint' "$workdir/trace3.json"
+
 # The same /metrics endpoint speaks the Prometheus text exposition format
 # when asked, with well-formed histogram series.
 curl -sf -H 'Accept: text/plain' "http://$addr/metrics" > "$workdir/metrics.prom"
 grep -q '^# TYPE idd_queue_wait_seconds histogram$' "$workdir/metrics.prom"
 grep -q '^# TYPE idd_solve_wall_seconds histogram$' "$workdir/metrics.prom"
 grep -q '^# TYPE idd_request_duration_seconds histogram$' "$workdir/metrics.prom"
-grep -q '^idd_solves_total 2$' "$workdir/metrics.prom"
-grep -q 'idd_solve_wall_seconds_bucket{le="+Inf"} 2' "$workdir/metrics.prom"
+grep -q '^idd_solves_total 3$' "$workdir/metrics.prom"
+grep -q 'idd_solve_wall_seconds_bucket{le="+Inf"} 3' "$workdir/metrics.prom"
 grep -q '^idd_backend_wins_total{backend=' "$workdir/metrics.prom"
 # Two sync cache hits plus the async resubmission of the same request.
 grep -q '^idd_cache_hits_total 3$' "$workdir/metrics.prom"
@@ -119,6 +132,43 @@ grep -q '^idd_tenant_queue_wait_seconds_count{tenant=' "$workdir/metrics2.prom"
 grep -q '^idd_batches_submitted_total 1$' "$workdir/metrics2.prom"
 grep -q '^idd_batch_items_total 2$' "$workdir/metrics2.prom"
 grep -q '^idd_fastpath_routed_total{backend=' "$workdir/metrics2.prom"
+
+# Re-solve session round-trip: create a session from the reduced TPC-H
+# instance, apply a weight-only delta (must re-solve warm-started from
+# the prior plan), close it, and replay the event stream — which must
+# carry the initial plan, the delta's changed tail, and the terminal
+# session_closed event.
+session_id=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr/sessions" |
+  sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1)
+test -n "$session_id"
+curl -sf "http://$addr/sessions/$session_id" > "$workdir/session.json"
+grep -q '"state": "active"' "$workdir/session.json"
+grep -q '"plan"' "$workdir/session.json"
+
+qname=$(python3 -c "import json; print(json.load(open('$workdir/r12.json'))['queries'][0]['name'])")
+printf '{"weights": {"%s": 2.5}}' "$qname" > "$workdir/delta.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/delta.json" "http://$addr/sessions/$session_id/delta" \
+  > "$workdir/delta_result.json"
+grep -q '"revision": 1' "$workdir/delta_result.json"
+grep -q '"warm_started": true' "$workdir/delta_result.json"
+grep -q '"tail_from"' "$workdir/delta_result.json"
+
+curl -sf -X DELETE "http://$addr/sessions/$session_id" |
+  grep -q '"state": "closed"'
+curl -sf --max-time 30 "http://$addr/sessions/$session_id/events" \
+  > "$workdir/session_events.txt"
+grep -q '^event: plan' "$workdir/session_events.txt"
+grep -q '^event: delta' "$workdir/session_events.txt"
+grep -q '^event: session_closed' "$workdir/session_events.txt"
+
+# Session counters land in the Prometheus scrape.
+curl -sf "http://$addr/metrics?format=prometheus" > "$workdir/metrics3.prom"
+grep -q '^idd_sessions_created_total 1$' "$workdir/metrics3.prom"
+grep -q '^idd_session_deltas_total 1$' "$workdir/metrics3.prom"
+grep -q '^idd_warm_starts_total [1-9]' "$workdir/metrics3.prom"
+grep -q '^idd_warm_hint_hits_total [1-9]' "$workdir/metrics3.prom"
 
 # Graceful shutdown on SIGTERM.
 kill -TERM "$server_pid"
