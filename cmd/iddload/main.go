@@ -12,15 +12,29 @@
 //
 // Modes:
 //
-//	iddload -addr http://host:8080        drive a live server
+//	iddload -target http://host:8080      drive a live server or cluster
+//	                                      node (-addr is an alias)
 //	iddload                               serve in-process (no network)
 //	iddload -compare-routing              in-process, run the identical
 //	                                      schedule twice: fast-path
 //	                                      routing on, then disabled —
 //	                                      the BENCH_serve.json protocol
+//	iddload -compare-cluster              in-process, run the identical
+//	                                      schedule against one node and
+//	                                      then an N-node cluster
+//	                                      (round-robin submission) — the
+//	                                      BENCH_serve.json "cluster"
+//	                                      section protocol
+//
+// When -target points at one member of a cluster, that node routes each
+// request to its ring owner itself; pass any member's URL.
 //
 // The -json report stamps cpus/gomaxprocs so checked-in numbers stay
-// honest across runners; see scripts/bench.sh --section serve.
+// honest across runners; see scripts/bench.sh --section serve and
+// --section cluster. A cluster on a single shared CPU measures ~1x
+// throughput by construction (every node contends for the same core);
+// rerun on real multi-machine or multi-core hardware for the real
+// curve.
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -41,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/evolving-olap/idd/internal/cluster"
 	"github.com/evolving-olap/idd/internal/model"
 	"github.com/evolving-olap/idd/internal/randgen"
 	"github.com/evolving-olap/idd/internal/service"
@@ -130,6 +146,10 @@ type report struct {
 	// fast-path win over portfolio-only routing, same schedule, same
 	// process, same hardware.
 	Comparison *comparison `json:"comparison,omitempty"`
+	// Cluster is present for -compare-cluster runs: the same schedule
+	// against a single node and then an N-node cluster, same process,
+	// same hardware.
+	Cluster *clusterComparison `json:"cluster,omitempty"`
 }
 
 type comparison struct {
@@ -137,6 +157,20 @@ type comparison struct {
 	SmallP50RatioPortfolioOverFastpath float64 `json:"small_p50_ratio_portfolio_over_fastpath"`
 	SolvesPerSecFastpath               float64 `json:"solves_per_sec_fastpath"`
 	SolvesPerSecPortfolioOnly          float64 `json:"solves_per_sec_portfolio_only"`
+}
+
+type clusterComparison struct {
+	Nodes                            int     `json:"nodes"`
+	SolvesPerSecSingleNode           float64 `json:"solves_per_sec_single_node"`
+	SolvesPerSecCluster              float64 `json:"solves_per_sec_cluster"`
+	ThroughputRatioClusterOverSingle float64 `json:"throughput_ratio_cluster_over_single"`
+	Forwards                         int64   `json:"forwards"`
+	RemoteSteals                     int64   `json:"remote_steals"`
+	ResultsApplied                   int64   `json:"results_applied"`
+	// Note qualifies the ratio: N nodes sharing one CPU measure ~1x by
+	// construction; the ratio is meaningful only when each node has its
+	// own cores.
+	Note string `json:"note,omitempty"`
 }
 
 func percentile(ms []float64, p float64) float64 {
@@ -150,9 +184,10 @@ func percentile(ms []float64, p float64) float64 {
 	return ms[i]
 }
 
-// drive replays the schedule against base, open-loop, and folds the
-// responses into a runReport.
-func drive(name, base string, arrivals []arrival, budget time.Duration) runReport {
+// drive replays the schedule against the given base URLs (round-robin
+// when more than one — the cluster submission pattern), open-loop, and
+// folds the responses into a runReport.
+func drive(name string, bases []string, arrivals []arrival, budget time.Duration) runReport {
 	client := &http.Client{}
 	samples := make([]sample, len(arrivals))
 	var wg sync.WaitGroup
@@ -176,7 +211,7 @@ func drive(name, base string, arrivals []arrival, budget time.Duration) runRepor
 				return
 			}
 			t0 := time.Now()
-			req, _ := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
+			req, _ := http.NewRequest("POST", bases[i%len(bases)]+"/solve", bytes.NewReader(body))
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set(service.TenantHeader, a.tenant)
 			resp, err := client.Do(req)
@@ -272,25 +307,109 @@ func inprocess(workers, queue, fastpathMaxN int, budget time.Duration) (string, 
 	}
 }
 
+// inprocessCluster starts k loopback cluster nodes peered with each
+// other (listeners bound first so every node knows the full membership
+// up front) and returns their base URLs, the nodes, and a shutdown
+// func. It blocks until gossip reports every peer up on every node.
+func inprocessCluster(k, workers, queue int, budget time.Duration) ([]string, []*cluster.Node, func()) {
+	listeners := make([]net.Listener, k)
+	urls := make([]string, k)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("iddload: cluster listener: %v", err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*cluster.Node, k)
+	srvs := make([]*http.Server, k)
+	for i := range nodes {
+		node, err := cluster.New(cluster.Config{
+			Self:           urls[i],
+			Peers:          urls,
+			GossipInterval: 100 * time.Millisecond,
+			StealInterval:  25 * time.Millisecond,
+		}, service.Config{
+			Workers:       workers,
+			QueueCap:      queue,
+			DefaultBudget: budget,
+			MaxBudget:     2 * budget,
+		})
+		if err != nil {
+			log.Fatalf("iddload: cluster node %d: %v", i, err)
+		}
+		nodes[i] = node
+		srvs[i] = &http.Server{Handler: node.Handler()}
+		go srvs[i].Serve(listeners[i])
+		node.Start()
+	}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i := range nodes {
+			srvs[i].Close()
+			nodes[i].Close()
+			nodes[i].Server().Shutdown(ctx)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for _, n := range nodes {
+			for _, p := range n.Snapshot().Peers {
+				if p.State != "up" {
+					converged = false
+				}
+			}
+		}
+		if converged {
+			return urls, nodes, stop
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("iddload: cluster gossip did not converge within 10s")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
 func main() {
 	var (
-		addr       = flag.String("addr", "", "base URL of a live iddserver (empty = serve in-process)")
-		workers    = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 1024, "in-process server queue capacity")
-		duration   = flag.Duration("duration", 10*time.Second, "arrival window")
-		rate       = flag.Float64("rate", 40, "mean arrivals per second (Poisson)")
-		tenants    = flag.Int("tenants", 4, "distinct tenant ids in the mix")
-		smallFrac  = flag.Float64("small-frac", 0.85, "fraction of arrivals in the small class (5-12 indexes); the rest are medium (14-18)")
-		budget     = flag.Duration("budget", 300*time.Millisecond, "per-solve budget")
-		seed       = flag.Int64("seed", 1, "workload seed (schedule + instances)")
-		compare    = flag.Bool("compare-routing", false, "in-process only: run the identical schedule twice, fast-path on then disabled")
-		jsonOut    = flag.String("json", "", "write the full report to this file ('-' = stdout)")
-		maxErrRate = flag.Float64("max-error-rate", -1, "exit nonzero if any run's error rate exceeds this (negative = never)")
+		addr        = flag.String("addr", "", "base URL of a live iddserver (empty = serve in-process)")
+		target      = flag.String("target", "", "base URL of a live iddserver or cluster node (alias of -addr)")
+		workers     = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 1024, "in-process server queue capacity")
+		duration    = flag.Duration("duration", 10*time.Second, "arrival window")
+		rate        = flag.Float64("rate", 40, "mean arrivals per second (Poisson)")
+		tenants     = flag.Int("tenants", 4, "distinct tenant ids in the mix")
+		smallFrac   = flag.Float64("small-frac", 0.85, "fraction of arrivals in the small class (5-12 indexes); the rest are medium (14-18)")
+		budget      = flag.Duration("budget", 300*time.Millisecond, "per-solve budget")
+		seed        = flag.Int64("seed", 1, "workload seed (schedule + instances)")
+		compare     = flag.Bool("compare-routing", false, "in-process only: run the identical schedule twice, fast-path on then disabled")
+		compareClus = flag.Bool("compare-cluster", false, "in-process only: run the identical schedule against one node, then an N-node cluster")
+		clusterN    = flag.Int("cluster-nodes", 3, "cluster size for -compare-cluster")
+		jsonOut     = flag.String("json", "", "write the full report to this file ('-' = stdout)")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "exit nonzero if any run's error rate exceeds this (negative = never)")
 	)
 	flag.Parse()
 
+	if *target != "" {
+		if *addr != "" && *addr != *target {
+			log.Fatal("iddload: -addr and -target are aliases; pass one")
+		}
+		*addr = *target
+	}
 	if *compare && *addr != "" {
-		log.Fatal("iddload: -compare-routing serves in-process; it cannot toggle routing on a remote server (drop -addr)")
+		log.Fatal("iddload: -compare-routing serves in-process; it cannot toggle routing on a remote server (drop -addr/-target)")
+	}
+	if *compareClus && *addr != "" {
+		log.Fatal("iddload: -compare-cluster serves in-process; to drive a live cluster, pass -target without it")
+	}
+	if *compareClus && *compare {
+		log.Fatal("iddload: pick one of -compare-routing / -compare-cluster")
+	}
+	if *compareClus && *clusterN < 2 {
+		log.Fatal("iddload: -cluster-nodes must be at least 2")
 	}
 
 	arrivals := schedule(*seed, *rate, *duration, *smallFrac, *tenants)
@@ -309,6 +428,17 @@ func main() {
 		Seed:        *seed,
 	}
 
+	logRun := func(r runReport) {
+		log.Printf("iddload: %-15s %5d ok %3d err  %7.1f solves/s  p50 %7.1fms  p99 %7.1fms  routed %d",
+			r.Name, r.Requests-r.Errors, r.Errors, r.SolvesPerSec, r.P50Ms, r.P99Ms, r.Routed)
+		for _, class := range []string{"small", "medium"} {
+			if cs, ok := r.Classes[class]; ok {
+				log.Printf("iddload:   %-8s %5d req %3d err  p50 %7.1fms  p99 %7.1fms  routed %d",
+					class, cs.Requests, cs.Errors, cs.P50Ms, cs.P99Ms, cs.Routed)
+			}
+		}
+	}
+
 	run := func(name string, fastpathMaxN int) runReport {
 		base := *addr
 		if base == "" {
@@ -317,19 +447,45 @@ func main() {
 			defer stop()
 		}
 		log.Printf("iddload: run %q against %s", name, base)
-		r := drive(name, base, arrivals, *budget)
-		log.Printf("iddload: %-15s %5d ok %3d err  %7.1f solves/s  p50 %7.1fms  p99 %7.1fms  routed %d",
-			name, r.Requests-r.Errors, r.Errors, r.SolvesPerSec, r.P50Ms, r.P99Ms, r.Routed)
-		for _, class := range []string{"small", "medium"} {
-			if cs, ok := r.Classes[class]; ok {
-				log.Printf("iddload:   %-8s %5d req %3d err  p50 %7.1fms  p99 %7.1fms  routed %d",
-					class, cs.Requests, cs.Errors, cs.P50Ms, cs.P99Ms, cs.Routed)
-			}
-		}
+		r := drive(name, []string{base}, arrivals, *budget)
+		logRun(r)
 		return r
 	}
 
-	if *compare {
+	if *compareClus {
+		base, stopSingle := inprocess(*workers, *queue, 0, *budget)
+		log.Printf("iddload: run \"single_node\" against %s", base)
+		single := drive("single_node", []string{base}, arrivals, *budget)
+		stopSingle()
+		logRun(single)
+
+		urls, nodes, stopCluster := inprocessCluster(*clusterN, *workers, *queue, *budget)
+		log.Printf("iddload: run \"cluster_%dnode\" round-robin across %v", *clusterN, urls)
+		clus := drive(fmt.Sprintf("cluster_%dnode", *clusterN), urls, arrivals, *budget)
+		cc := &clusterComparison{
+			Nodes:                  *clusterN,
+			SolvesPerSecSingleNode: single.SolvesPerSec,
+			SolvesPerSecCluster:    clus.SolvesPerSec,
+		}
+		for _, n := range nodes {
+			snap := n.Snapshot()
+			cc.Forwards += snap.Forwards
+			cc.RemoteSteals += snap.RemoteSteals
+			cc.ResultsApplied += snap.ResultsApplied
+		}
+		stopCluster()
+		logRun(clus)
+		if single.SolvesPerSec > 0 {
+			cc.ThroughputRatioClusterOverSingle = clus.SolvesPerSec / single.SolvesPerSec
+		}
+		if runtime.NumCPU() < 2**clusterN {
+			cc.Note = fmt.Sprintf("%d nodes share %d CPU(s) in one process: the ratio measures routing overhead, not scale-out; rerun across real machines for the throughput curve", *clusterN, runtime.NumCPU())
+		}
+		rep.Runs = []runReport{single, clus}
+		rep.Cluster = cc
+		log.Printf("iddload: cluster/single throughput = %.2fx (forwards %d, remote steals %d, results replicated %d)",
+			cc.ThroughputRatioClusterOverSingle, cc.Forwards, cc.RemoteSteals, cc.ResultsApplied)
+	} else if *compare {
 		fast := run("fastpath", 0)        // 0 = service default threshold
 		slow := run("portfolio_only", -1) // negative disables routing
 		rep.Runs = []runReport{fast, slow}

@@ -28,7 +28,13 @@
 //	GET    /sessions/{id}/events server-sent events: changed plan tails
 //	DELETE /sessions/{id}     close the session
 //	GET    /solvers           registered backends + declared param specs
-//	GET    /healthz           liveness (503 while draining)
+//	GET    /healthz           liveness (503 while draining); cluster mode
+//	                          adds per-peer membership + health
+//	GET    /cluster/health    peer protocol (cluster mode): health gossip
+//	POST   /cluster/incumbent peer protocol: LWW incumbent exchange
+//	POST   /cluster/result    peer protocol: finished-result replication
+//	POST   /cluster/steal     peer protocol: donate an open CP subtree
+//	POST   /cluster/complete  peer protocol: settle a donated subtree
 //	GET    /metrics           JSON snapshot; Prometheus text format with
 //	                          ?format=prometheus or Accept: text/plain
 //
@@ -46,6 +52,25 @@
 // marked built) re-solves warm-started from the previous incumbent,
 // repaired against the delta, and the session's event stream carries
 // only the changed tail of the plan.
+//
+// Distributed cluster mode: pass every member's URL via -peers (the
+// same list on every node) plus this node's own reachable URL via
+// -advertise, and the servers form a coordinator-free solve cluster:
+//
+//	iddserver -addr :8080 -advertise http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// Any node accepts any request. Solve submissions are routed by
+// consistent hash of the canonical instance to their owning node (so
+// the solution cache and single-flight dedup keep their hit rates
+// cluster-wide), job/batch/session ids are node-prefixed and proxied to
+// their home node, finished results and incumbent improvements
+// replicate to every peer, and idle nodes steal open CP-proof subtrees
+// from busy ones — the optimality certificate stays sound across node
+// failures (lost subtrees are re-queued by their owner). /healthz gains
+// a cluster section with per-peer health; /metrics gains idd_cluster_*
+// counters. -gossip-interval, -steal-interval, -max-helpers and
+// -helper-workers tune the peer protocol.
 //
 // -debug-addr starts a SECOND listener (off by default) exposing only
 // net/http/pprof — profiles never share a port with solve traffic, so
@@ -77,9 +102,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/evolving-olap/idd/internal/cluster"
 	"github.com/evolving-olap/idd/internal/service"
 	"github.com/evolving-olap/idd/internal/solver/backend"
 )
@@ -100,6 +127,13 @@ func main() {
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain window")
 		debugAddr = flag.String("debug-addr", "", "separate net/http/pprof listener (empty = disabled; keep it loopback)")
 
+		peers          = flag.String("peers", "", "comma-separated base URLs of every cluster member (empty = single node)")
+		advertise      = flag.String("advertise", "", "this node's reachable base URL (required with -peers)")
+		gossipInterval = flag.Duration("gossip-interval", time.Second, "peer health probe cadence")
+		stealInterval  = flag.Duration("steal-interval", 100*time.Millisecond, "idle-node remote work-steal cadence")
+		maxHelpers     = flag.Int("max-helpers", 1, "concurrently adopted remote subtrees")
+		helperWorkers  = flag.Int("helper-workers", 1, "cp workers per adopted remote subtree")
+
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant submission burst (0 = 2×rate+1)")
 		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant queued-run quota (0 = no per-tenant cap)")
@@ -114,7 +148,7 @@ func main() {
 		log.Fatalf("iddserver: %v", err)
 	}
 
-	srv := service.New(service.Config{
+	svcCfg := service.Config{
 		Workers:       *workers,
 		DefaultParams: defaults,
 		CPWorkers:     *cpWorkers, // deprecated alias; -param cp.workers wins
@@ -132,8 +166,39 @@ func main() {
 		TenantQueueCap: *tenantQueue,
 		MaxBatchItems:  *maxBatch,
 		FastPathMaxN:   *fastpathN,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	}
+
+	var (
+		srv     *service.Server
+		node    *cluster.Node
+		handler http.Handler
+	)
+	if *peers != "" {
+		if *advertise == "" {
+			log.Fatal("iddserver: -peers requires -advertise (this node's reachable URL)")
+		}
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:           *advertise,
+			Peers:          strings.Split(*peers, ","),
+			GossipInterval: *gossipInterval,
+			StealInterval:  *stealInterval,
+			MaxHelpers:     *maxHelpers,
+			HelperWorkers:  *helperWorkers,
+		}, svcCfg)
+		if err != nil {
+			log.Fatalf("iddserver: %v", err)
+		}
+		srv = node.Server()
+		handler = node.Handler()
+		node.Start()
+		log.Printf("iddserver: cluster node %s (%s), %d peers configured",
+			node.Name(), *advertise, len(strings.Split(*peers, ",")))
+	} else {
+		srv = service.New(svcCfg)
+		handler = srv.Handler()
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -172,6 +237,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if node != nil {
+		node.Close() // stop gossip/steal loops before draining solves
+	}
 	srv.Shutdown(ctx) // reject new work, finish the queue, cancel on timeout
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("iddserver: http shutdown: %v", err)

@@ -64,10 +64,25 @@
 // (scripts/bench.sh --section resolve). See README.md's "Online
 // re-solve sessions".
 //
+// The service scales past one machine through internal/cluster: N
+// iddserver processes started with the same static -peers list form a
+// coordinator-free solve cluster. Submissions are routed by consistent
+// hash of the canonical instance to their owning node (the solution
+// cache and single-flight dedup keep their hit rates cluster-wide),
+// finished results and in-flight incumbents replicate through a
+// last-writer-wins merge ordered by (objective, Lamport clock) —
+// commutative, associative, idempotent, property-tested under random
+// delivery orders — and idle nodes steal open CP-proof subtrees from
+// busy peers as deployment-prefix frames, with the donor's
+// open-subproblem ledger keeping the optimality certificate sound
+// across helper failures. See README.md's "Distributed cluster" and
+// the examples/cluster docker-compose walkthrough.
+//
 // The public surface lives in the commands (cmd/iddgen, cmd/iddsolve,
-// cmd/iddinspect, cmd/iddbench, cmd/iddserver) and the internal
-// packages; see README.md for the architecture overview, DESIGN.md for
-// the system inventory, and EXPERIMENTS.md for the paper-versus-measured
-// evaluation. BENCH_eval.json is the checked-in performance baseline of
-// the evaluation core, regenerated by scripts/bench.sh.
+// cmd/iddinspect, cmd/iddbench, cmd/iddserver, cmd/iddload) and the
+// internal packages; see README.md for the architecture overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured evaluation. BENCH_eval.json and BENCH_serve.json
+// are the checked-in performance baselines, regenerated by
+// scripts/bench.sh.
 package idd

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randInc draws a random incumbent from a small value space so property
+// runs hit ties on every field (the interesting merge cases).
+func randInc(rng *rand.Rand) Incumbent {
+	if rng.Intn(8) == 0 {
+		return Incumbent{} // the zero (nothing known) element
+	}
+	orders := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {2, 0, 1}}
+	return Incumbent{
+		Objective: float64(rng.Intn(3)) * 1.5,
+		Order:     orders[rng.Intn(len(orders))],
+		Clock:     uint64(rng.Intn(4)),
+		Node:      []string{"na", "nb", "nc"}[rng.Intn(3)],
+	}
+}
+
+func equalInc(a, b Incumbent) bool {
+	if a.Objective != b.Objective || a.Clock != b.Clock || a.Node != b.Node ||
+		len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b := randInc(rng), randInc(rng)
+		if !equalInc(Merge(a, b), Merge(b, a)) {
+			t.Fatalf("Merge not commutative: a=%+v b=%+v", a, b)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randInc(rng), randInc(rng), randInc(rng)
+		l := Merge(Merge(a, b), c)
+		r := Merge(a, Merge(b, c))
+		if !equalInc(l, r) {
+			t.Fatalf("Merge not associative: a=%+v b=%+v c=%+v (ab)c=%+v a(bc)=%+v", a, b, c, l, r)
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := randInc(rng)
+		if !equalInc(Merge(a, a), a) {
+			t.Fatalf("Merge not idempotent: a=%+v", a)
+		}
+	}
+}
+
+// TestMergeNeverWorse pins the safety property the cluster relies on: a
+// merge never replaces a known schedule with a worse-objective one,
+// whatever the clocks and tie-break fields say.
+func TestMergeNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		a, b := randInc(rng), randInc(rng)
+		m := Merge(a, b)
+		if !a.zero() && m.Objective > a.Objective {
+			t.Fatalf("merge degraded objective: a=%+v b=%+v m=%+v", a, b, m)
+		}
+		if !b.zero() && m.Objective > b.Objective {
+			t.Fatalf("merge degraded objective: a=%+v b=%+v m=%+v", a, b, m)
+		}
+		if a.zero() && b.zero() && !m.zero() {
+			t.Fatalf("merge invented a schedule: m=%+v", m)
+		}
+	}
+}
+
+// TestMergeConvergent replays the same random update batch against many
+// replicas, each seeing a different delivery order and duplication
+// pattern, and requires every replica to land on the identical state —
+// the CRDT convergence property that makes the incumbent exchange
+// coordinator-free.
+func TestMergeConvergent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		updates := make([]Incumbent, 1+rng.Intn(12))
+		for i := range updates {
+			updates[i] = randInc(rng)
+		}
+		var states []Incumbent
+		for replica := 0; replica < 6; replica++ {
+			perm := rng.Perm(len(updates))
+			state := Incumbent{}
+			for _, i := range perm {
+				state = Merge(state, updates[i])
+				if rng.Intn(3) == 0 { // duplicated delivery
+					state = Merge(state, updates[i])
+				}
+			}
+			states = append(states, state)
+		}
+		for _, s := range states[1:] {
+			if !equalInc(s, states[0]) {
+				t.Fatalf("replicas diverged: %+v vs %+v (trial %d)", states[0], s, trial)
+			}
+		}
+	}
+}
+
+func TestLWWMapApply(t *testing.T) {
+	m := newLWWMap(2)
+	a := Incumbent{Objective: 5, Order: []int{0, 1}, Clock: 1, Node: "na"}
+	if !m.apply("k", a) {
+		t.Fatal("first apply should win")
+	}
+	if m.apply("k", a) {
+		t.Fatal("idempotent redelivery should not count as applied")
+	}
+	worse := Incumbent{Objective: 9, Order: []int{1, 0}, Clock: 99, Node: "nz"}
+	if m.apply("k", worse) {
+		t.Fatal("worse objective must not win, whatever the clock")
+	}
+	if got, _ := m.get("k"); !equalInc(got, a) {
+		t.Fatalf("stored incumbent corrupted: %+v", got)
+	}
+	better := Incumbent{Objective: 3, Order: []int{1, 0}, Clock: 0, Node: "nz"}
+	if !m.apply("k", better) {
+		t.Fatal("better objective must win even with an older clock")
+	}
+	// FIFO bound: a third key evicts the oldest.
+	m.apply("k2", a)
+	m.apply("k3", a)
+	if _, ok := m.get("k"); ok {
+		t.Fatal("expected k evicted by FIFO bound")
+	}
+	if _, ok := m.get("k3"); !ok {
+		t.Fatal("expected k3 present")
+	}
+}
+
+func TestRingDeterministicAndStable(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, r2 := newRing(addrs), newRing([]string{addrs[2], addrs[0], addrs[1]})
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := string(rune('a'+i%26)) + "key" + string(rune('0'+i%10)) + string(rune('a'+(i/26)%26))
+		o1, o2 := r1.owner(key), r2.owner(key)
+		if o1 != o2 {
+			t.Fatalf("ring owner depends on input order: %q vs %q", o1, o2)
+		}
+		counts[o1]++
+	}
+	for _, a := range addrs {
+		if counts[a] == 0 {
+			t.Fatalf("member %s owns nothing: %v", a, counts)
+		}
+	}
+}

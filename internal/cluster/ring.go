@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the virtual-node count per member. 64 points per node
+// keeps the ownership split within a few percent of even for small
+// clusters while the ring stays tiny (a 16-node cluster is 1024 sorted
+// uint64s).
+const ringReplicas = 64
+
+// ring is a consistent-hash ring over the static member list. Ownership
+// is a pure function of the full configured membership — deliberately
+// NOT of current health — so every node computes the same owner for a
+// key regardless of its local gossip view, and a peer flapping up/down
+// does not reshuffle the cache keyspace. Health only gates whether a
+// request is actually forwarded (a down owner is served locally).
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(addrs []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*ringReplicas)}
+	for _, a := range addrs {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashPoint(a + "#" + strconv.Itoa(i)),
+				addr: a,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by address so every node
+		// still sorts the ring identically.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// owner returns the member address owning key: the first ring point at
+// or after the key's hash, wrapping at the top.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}

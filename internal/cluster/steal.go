@@ -1,0 +1,495 @@
+package cluster
+
+// Distributed CP work stealing. The wire frame is tiny — a deployment
+// prefix, a few dozen bytes — because both ends already share
+// everything else: the canonical instance (shipped once per steal),
+// the deterministic constraint derivation, and the incumbent via the
+// LWW exchange. The ledger discipline mirrors the in-process one: a
+// steal leaves the donor's open-subproblem counter untouched and the
+// helper owes exactly one settlement (complete or requeue); the owner's
+// watchdog requeues exports whose helper died or whose deadline passed,
+// so a lost peer costs duplicated work, never a lost subtree — the
+// optimality certificate stays sound.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/prune"
+	"github.com/evolving-olap/idd/internal/sched"
+	"github.com/evolving-olap/idd/internal/service"
+	"github.com/evolving-olap/idd/internal/solver/backend"
+	"github.com/evolving-olap/idd/internal/solver/cp"
+)
+
+// distributor adapts the Node to the service.Distributor seam.
+type distributor struct{ n *Node }
+
+func (d distributor) SolveStarted(s service.SolveStart) service.DistributedSolve {
+	n := d.n
+	as := &activeSolve{n: n, start: s}
+	n.mu.Lock()
+	n.active[s.Key] = as
+	n.mu.Unlock()
+	// A peer may already have solved (or be solving) this key: seed the
+	// store with the replicated incumbent so every local backend starts
+	// from the cluster-wide best.
+	if inc, ok := n.incs.get(s.Key); ok && !inc.zero() {
+		s.Store.Offer("cluster", inc.Order, inc.Objective)
+	}
+	return as
+}
+
+func (d distributor) ResultCached(key string, res *service.SolveResult) {
+	d.n.resultCached(key, res)
+}
+
+// activeSolve is one executing solve announced by the job manager,
+// alive from SolveStarted to Done.
+type activeSolve struct {
+	n     *Node
+	start service.SolveStart
+
+	mu      sync.Mutex
+	sources []backend.WorkSource
+	done    bool
+}
+
+func (as *activeSolve) Exporter() func(ws backend.WorkSource) (release func()) {
+	return func(ws backend.WorkSource) func() {
+		as.mu.Lock()
+		as.sources = append(as.sources, ws)
+		as.mu.Unlock()
+		return func() {
+			// The search is returning: detach the source and invalidate
+			// every outstanding export against it so no settlement ever
+			// reaches a dead run.
+			as.mu.Lock()
+			for i, s := range as.sources {
+				if s == ws {
+					as.sources = append(as.sources[:i], as.sources[i+1:]...)
+					break
+				}
+			}
+			as.mu.Unlock()
+			as.n.dropExports(func(e *export) bool { return e.ws == ws })
+		}
+	}
+}
+
+func (as *activeSolve) Improved(order []int, objective float64) {
+	as.n.broadcastIncumbent(as.start.Key, order, objective)
+}
+
+func (as *activeSolve) Done() {
+	as.mu.Lock()
+	as.done = true
+	as.sources = nil
+	as.mu.Unlock()
+	n := as.n
+	n.mu.Lock()
+	if n.active[as.start.Key] == as {
+		delete(n.active, as.start.Key)
+	}
+	n.mu.Unlock()
+	n.dropExports(func(e *export) bool { return e.as == as })
+}
+
+// activeSolve returns the live solve for key, if any.
+func (n *Node) activeSolve(key string) *activeSolve {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.active[key]
+}
+
+// exportableWork reports whether any live solve has an attached
+// frontier (the "busy" bit peers see in health gossip).
+func (n *Node) exportableWork() bool {
+	n.mu.Lock()
+	solves := make([]*activeSolve, 0, len(n.active))
+	for _, as := range n.active {
+		solves = append(solves, as)
+	}
+	n.mu.Unlock()
+	for _, as := range solves {
+		as.mu.Lock()
+		busy := !as.done && len(as.sources) > 0
+		as.mu.Unlock()
+		if busy {
+			return true
+		}
+	}
+	return false
+}
+
+// export is one donated subtree awaiting settlement from a helper.
+type export struct {
+	id     string
+	as     *activeSolve
+	ws     backend.WorkSource
+	prefix []int
+	helper string // helper's advertised address (liveness watch)
+	expiry time.Time
+}
+
+// dropExports removes matching exports WITHOUT requeueing: used when
+// the owning search has already ended (its counter no longer exists).
+func (n *Node) dropExports(match func(*export) bool) {
+	n.mu.Lock()
+	for id, e := range n.exports {
+		if match(e) {
+			delete(n.exports, id)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// exportWatchdog requeues exports whose helper is down or whose expiry
+// passed. Parked donor workers wake on the requeue broadcast, so a lost
+// subtree re-enters the local frontier within one gossip round of the
+// helper's death.
+func (n *Node) exportWatchdog() {
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-t.C:
+			now := time.Now()
+			var lost []*export
+			n.mu.Lock()
+			for id, e := range n.exports {
+				ps := n.peers[e.helper]
+				if now.After(e.expiry) || (ps != nil && !ps.up) {
+					delete(n.exports, id)
+					lost = append(lost, e)
+				}
+			}
+			n.mu.Unlock()
+			for _, e := range lost {
+				e.as.mu.Lock()
+				ok := !e.as.done
+				e.as.mu.Unlock()
+				if ok {
+					e.ws.RequeueSubtree(e.prefix)
+					n.m.requeues.Inc()
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Donor side: POST /cluster/steal and /cluster/complete
+
+type stealReq struct {
+	// Node/Addr identify the helper (the addr feeds the liveness watch).
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+}
+
+type stealResp struct {
+	Found bool   `json:"found"`
+	ID    string `json:"id,omitempty"`
+	Key   string `json:"key,omitempty"`
+	// Instance is the canonical instance; the helper re-derives the
+	// identical compiled model and constraint set from it.
+	Instance *model.Instance `json:"instance,omitempty"`
+	Prune    bool            `json:"prune,omitempty"`
+	Prefix   []int           `json:"prefix,omitempty"`
+	// Incumbent/Objective seed the helper's search with the donor's
+	// current best so it prunes as hard as the donor would.
+	Incumbent []int   `json:"incumbent,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
+	// DeadlineMS is the solve budget expiry (unix millis); the helper
+	// must settle by then or the watchdog requeues.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealReq
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Addr == "" {
+		http.Error(w, `{"error":"bad steal request"}`, http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	solves := make([]*activeSolve, 0, len(n.active))
+	for _, as := range n.active {
+		solves = append(solves, as)
+	}
+	n.mu.Unlock()
+	for _, as := range solves {
+		as.mu.Lock()
+		if as.done || len(as.sources) == 0 {
+			as.mu.Unlock()
+			continue
+		}
+		var prefix []int
+		var ws backend.WorkSource
+		for _, s := range as.sources {
+			if p, ok := s.StealSubtree(); ok {
+				prefix, ws = p, s
+				break
+			}
+		}
+		as.mu.Unlock()
+		if ws == nil {
+			continue
+		}
+		e := &export{
+			as:     as,
+			ws:     ws,
+			prefix: prefix,
+			helper: req.Addr,
+			// Settlement grace past the solve deadline covers the
+			// helper's final report round-trip.
+			expiry: as.start.Deadline.Add(2 * time.Second),
+		}
+		n.mu.Lock()
+		n.nextExp++
+		e.id = fmt.Sprintf("%s-x%d", n.name, n.nextExp)
+		n.exports[e.id] = e
+		n.mu.Unlock()
+		n.m.stealsServed.Inc()
+		resp := stealResp{
+			Found:      true,
+			ID:         e.id,
+			Key:        as.start.Key,
+			Instance:   as.start.Canon,
+			Prune:      as.start.Prune,
+			Prefix:     prefix,
+			DeadlineMS: as.start.Deadline.UnixMilli(),
+		}
+		if order, obj, _ := as.start.Store.Best(); order != nil {
+			resp.Incumbent, resp.Objective = order, obj
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, stealResp{Found: false})
+}
+
+type completeMsg struct {
+	ID string `json:"id"`
+	// Exhausted reports the subtree fully explored (the donor may
+	// settle its open-subproblem debt); false means the helper gave up
+	// and the subtree must be requeued.
+	Exhausted bool    `json:"exhausted"`
+	Order     []int   `json:"order,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
+	// Nodes is the helper's search-node count (proof attribution).
+	Nodes int64 `json:"nodes"`
+}
+
+func (n *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var msg completeMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil || msg.ID == "" {
+		http.Error(w, `{"error":"bad completion"}`, http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	e := n.exports[msg.ID]
+	delete(n.exports, msg.ID)
+	n.mu.Unlock()
+	if e == nil {
+		// Already requeued by the watchdog (or the solve ended): the
+		// helper's work is simply discarded — duplication, not error.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	as := e.as
+	as.mu.Lock()
+	dead := as.done
+	as.mu.Unlock()
+	if dead {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	// Trust nothing from the wire: an order must be a constraint-
+	// compatible permutation and its objective is recomputed locally.
+	var best []int
+	var obj float64
+	if msg.Order != nil && validFullOrder(as.start.Compiled.N, as.start.Constraints, msg.Order) {
+		best = msg.Order
+		obj = as.start.Compiled.Objective(msg.Order)
+		as.start.Store.Offer("cluster-helper", best, obj)
+	}
+	if msg.Exhausted {
+		e.ws.CompleteSubtree(best, obj)
+		n.m.completions.Inc()
+		n.m.remoteNodes.Add(msg.Nodes)
+	} else {
+		e.ws.RequeueSubtree(e.prefix)
+		n.m.requeues.Inc()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// validFullOrder reports whether order is a permutation of 0..n-1
+// compatible with the constraint set.
+func validFullOrder(n int, cs *constraint.Set, order []int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return cs == nil || cs.Compatible(order)
+}
+
+// ---------------------------------------------------------------------------
+// Helper side: the steal loop
+
+func (n *Node) helperLoop() {
+	t := time.NewTicker(n.cfg.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-t.C:
+			n.tryStealOnce()
+		}
+	}
+}
+
+// tryStealOnce asks one busy peer for a subtree if this node has spare
+// capacity, and solves it synchronously (the loop tick is the pacing).
+func (n *Node) tryStealOnce() {
+	running, workers := n.srv.Manager().Load()
+	n.mu.Lock()
+	helpers := n.helpers
+	n.mu.Unlock()
+	if running >= workers || helpers >= n.cfg.MaxHelpers {
+		return
+	}
+	for _, ps := range n.upPeers(true) {
+		resp, ok := n.requestSteal(ps)
+		if !ok || !resp.Found {
+			continue
+		}
+		n.mu.Lock()
+		n.helpers++
+		n.mu.Unlock()
+		n.m.remoteSteals.Inc()
+		n.runHelper(ps, resp)
+		n.mu.Lock()
+		n.helpers--
+		n.mu.Unlock()
+		return
+	}
+}
+
+func (n *Node) requestSteal(ps *peerState) (stealResp, bool) {
+	body, _ := json.Marshal(stealReq{Node: n.name, Addr: n.cfg.Self})
+	ctx, cancel := context.WithTimeout(n.ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ps.addr+"/cluster/steal", bytes.NewReader(body))
+	if err != nil {
+		return stealResp{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := n.client.Do(req)
+	if err != nil {
+		n.markDown(ps.addr)
+		return stealResp{}, false
+	}
+	defer httpResp.Body.Close()
+	var resp stealResp
+	if httpResp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(httpResp.Body, 8<<20)).Decode(&resp) != nil {
+		return stealResp{}, false
+	}
+	return resp, true
+}
+
+// runHelper adopts one donated subtree: recompile the canonical
+// instance, re-derive the identical constraint set, prove the subtree,
+// and settle with the donor. Sound whatever happens on the wire — an
+// unreported settlement is requeued by the donor's watchdog.
+func (n *Node) runHelper(ps *peerState, sr stealResp) {
+	exhausted := false
+	var res cp.Result
+	var nodes int64
+	c, err := model.Compile(sr.Instance)
+	if err == nil {
+		cs := sched.PrecedenceSet(sr.Instance)
+		if sr.Prune {
+			cs, _ = prune.Analyze(c, prune.Options{})
+		}
+		opt := cp.Options{
+			Workers:  n.cfg.HelperWorkers,
+			Context:  n.ctx,
+			Deadline: time.UnixMilli(sr.DeadlineMS),
+			Incumbent: func() []int {
+				if validFullOrder(c.N, cs, sr.Incumbent) {
+					return sr.Incumbent
+				}
+				return nil
+			}(),
+			TailBound: prune.NewTailBound(c, cs, prune.Options{}),
+			// The LWW table holds the freshest cluster-wide incumbent
+			// for this key (stale reads only loosen the bound — never
+			// unsound); improvements found here are broadcast so the
+			// donor (and everyone else) tightens too.
+			ExternalBound: func() float64 {
+				if inc, ok := n.incs.get(sr.Key); ok && !inc.zero() {
+					return inc.Objective
+				}
+				return math.Inf(1)
+			},
+			OnSolution: func(order []int, obj float64) {
+				n.broadcastIncumbent(sr.Key, order, obj)
+			},
+		}
+		res = cp.SolveSubtree(c, cs, sr.Prefix, opt)
+		exhausted = res.Proved
+		nodes = res.Nodes
+		n.m.helperNodes.Add(nodes)
+	}
+	msg := completeMsg{ID: sr.ID, Exhausted: exhausted, Nodes: nodes}
+	if res.Order != nil {
+		msg.Order, msg.Objective = res.Order, res.Objective
+	}
+	n.reportCompletion(ps, msg)
+}
+
+// reportCompletion posts the settlement, retrying once; a lost report
+// is recovered by the donor's watchdog (requeue), so this is
+// best-effort by design.
+func (n *Node) reportCompletion(ps *peerState, msg completeMsg) {
+	body, _ := json.Marshal(msg)
+	for attempt := 0; attempt < 2; attempt++ {
+		ctx, cancel := context.WithTimeout(n.ctx, 2*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ps.addr+"/cluster/complete", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.client.Do(req)
+		cancel()
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return
+		}
+	}
+	n.markDown(ps.addr)
+}

@@ -206,7 +206,7 @@ func (m *Manager) SubmitBatch(instances []*model.Instance, p Params) (*Batch, er
 	m.mu.Unlock()
 
 	b := &Batch{
-		ID:        newJobID(),
+		ID:        m.newID(),
 		tenant:    tenant,
 		createdAt: time.Now(),
 		items:     make([]batchItem, len(instances)),

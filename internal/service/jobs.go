@@ -73,6 +73,15 @@ type Config struct {
 	// portfolio race and run one exact backend to a proof
 	// (0 = portfolio.DefaultFastPathMaxN; negative disables routing).
 	FastPathMaxN int
+	// NodeName, when non-empty, prefixes every generated job/batch/
+	// session id as "<node>-<hex>". In cluster mode each node names
+	// itself, which makes ids self-routing: any peer can tell from the
+	// prefix which node owns the resource and proxy the lookup there.
+	NodeName string
+	// Distributor, when non-nil, bridges executing solves to the
+	// distributed solve cluster (see Distributor). Nil = single-node
+	// behavior, unchanged.
+	Distributor Distributor
 }
 
 func (c Config) withDefaults() Config {
@@ -300,8 +309,11 @@ func (j *Job) finish(state string, res *SolveResult, err error) bool {
 // run is one underlying portfolio solve, shared by all jobs whose
 // canonical hash and solve parameters coincide (single-flight).
 type run struct {
-	key    string
-	canon  *model.Instance
+	key string
+	// hash is the instance's canonical hash alone (the cluster routing
+	// key; key adds the solve-shaping parameters on top).
+	hash  string
+	canon *model.Instance
 	params Params
 	// bag is the registry-validated, canonically typed form of
 	// params.Params.
@@ -542,6 +554,47 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// newID returns a fresh job/batch/session id, prefixed with the node
+// name in cluster mode so ids are self-routing across peers.
+func (m *Manager) newID() string {
+	if m.cfg.NodeName != "" {
+		return m.cfg.NodeName + "-" + newJobID()
+	}
+	return newJobID()
+}
+
+// SeedCache installs a finished result (canonical index space, as
+// produced by a solve of the identical key) into the solution cache.
+// This is the receiving end of cluster result replication: a peer's
+// finished solve becomes a local cache hit for the next identical
+// request, whichever node it lands on.
+func (m *Manager) SeedCache(key string, res *SolveResult) {
+	if res == nil || key == "" {
+		return
+	}
+	m.cache.put(key, res)
+}
+
+// CachedResult looks up a finished result by solve key without touching
+// job state (used by the cluster layer to answer peers).
+func (m *Manager) CachedResult(key string) (*SolveResult, bool) {
+	return m.cache.get(key)
+}
+
+// MaxBodyBytes reports the configured request-body cap (the cluster
+// router buffers bodies under the same limit the service enforces).
+func (m *Manager) MaxBodyBytes() int64 { return m.cfg.MaxBodyBytes }
+
+// Load reports the manager's instantaneous occupancy: currently
+// executing solves and the configured worker pool size. The cluster's
+// helper loop uses spare capacity (running < workers) as its "idle
+// enough to steal remote subtrees" signal.
+func (m *Manager) Load() (running, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running, m.cfg.Workers
+}
+
 // clampBudget applies the default and maximum to a requested budget.
 func (m *Manager) clampBudget(d Duration) time.Duration {
 	b := time.Duration(d)
@@ -689,7 +742,7 @@ func (m *Manager) submitWarm(in *model.Instance, p Params, warmNames []string, p
 	}
 
 	j := &Job{
-		ID:       newJobID(),
+		ID:       m.newID(),
 		hash:     hash,
 		instName: in.Name,
 		tenant:   tenant,
@@ -766,7 +819,7 @@ func (m *Manager) submitWarm(in *model.Instance, p Params, warmNames []string, p
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	r := &run{
-		key: key, canon: canon, params: p, bag: bag, budget: budget,
+		key: key, hash: hash, canon: canon, params: p, bag: bag, budget: budget,
 		structHash: structHash, initial: initial,
 		tenant: tenant, priority: p.Priority, seq: m.seq, ctx: ctx, cancel: cancel,
 	}
@@ -993,6 +1046,37 @@ func (m *Manager) execute(r *run) {
 			r.emit(progressToEvent(ev), ev.Order)
 		},
 	}
+
+	// Cluster hookup: hand the distributor a shared store it can inject
+	// remote incumbents into, announce every local improvement for
+	// broadcast, and (for reproducible runs only — no step limit) let
+	// exact engines export frontier subtrees to idle peers. Single-node
+	// mode (nil Distributor) takes none of these branches.
+	if m.cfg.Distributor != nil {
+		store := portfolio.NewStore(c.N, cs)
+		ds := m.cfg.Distributor.SolveStarted(SolveStart{
+			Key:         r.key,
+			Hash:        r.hash,
+			Compiled:    c,
+			Constraints: cs,
+			Prune:       r.params.pruneEnabled(),
+			Canon:       r.canon,
+			Store:       store,
+			Deadline:    time.Now().Add(r.budget),
+		})
+		defer ds.Done()
+		opts.Store = store
+		if r.params.StepLimit == 0 {
+			opts.Exporter = ds.Exporter()
+		}
+		prevImprove := opts.OnImprove
+		opts.OnImprove = func(b string, order []int, obj float64) {
+			if prevImprove != nil {
+				prevImprove(b, order, obj)
+			}
+			ds.Improved(order, obj)
+		}
+	}
 	// The portfolio enforces its own budget; the outer timeout only
 	// reaps a stuck backend, so give it headroom. Each attempt (routed
 	// fast path, then the race on fallback) gets its own allowance.
@@ -1082,6 +1166,11 @@ func (m *Manager) execute(r *run) {
 	// truncated incumbent under-serves future identical requests.
 	if r.ctx.Err() == nil || res.Proved {
 		m.cache.put(r.key, result)
+		if m.cfg.Distributor != nil {
+			// Replicate the canonical-space result so the identical
+			// request is a cache hit on every peer.
+			m.cfg.Distributor.ResultCached(r.key, result)
+		}
 	}
 	// Any finished order — even a truncated incumbent — is a useful warm
 	// seed for the next structurally identical request.

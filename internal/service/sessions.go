@@ -206,7 +206,7 @@ func (m *Manager) CreateSession(ctx context.Context, in *model.Instance, p Param
 	}
 
 	s := &Session{
-		ID:        newJobID(),
+		ID:        m.newID(),
 		tenant:    j.tenant,
 		createdAt: time.Now(),
 		m:         m,

@@ -103,6 +103,18 @@ type Options struct {
 	// makes victim choice reproducible given identical schedules.
 	Seed int64
 
+	// Exporter, when non-nil, is called once as a parallel search starts,
+	// handing the distributed-solve coordinator an ExportHandle that can
+	// donate frontier subproblems to other nodes (see export.go); the
+	// returned release func is called when the search ends. Ignored by
+	// the serial engine — it has no frontier to export.
+	Exporter func(h *ExportHandle) (release func())
+	// RootPrefix, when non-empty, roots the search at the subtree below
+	// this deployment prefix instead of the whole tree. Set via
+	// SolveSubtree (the adoption end of distributed stealing); direct
+	// callers should leave it nil.
+	RootPrefix []int
+
 	// Ablation switches (benchmarks only; keep both false in real use):
 	// NaiveBranching disables the density-guided value ordering, and
 	// NoBound disables the admissible objective bound (including the

@@ -1,0 +1,137 @@
+// Distributed work stealing: the donation end. A parallel proof search
+// already keeps its frontier as (deployment prefix) frames in per-worker
+// deques, so exporting a subtree over the wire is just copying the
+// shallowest such prefix out — a few dozen bytes. The ExportHandle
+// wraps a live parRun behind the backend.WorkSource contract: steals
+// leave the open-subproblem counter untouched (the thief owes a
+// completion), completions offer the remote best to the shared
+// incumbent *before* decrementing the counter, and requeues hand the
+// debt back to the local frontier. Under that protocol the counter
+// draining to zero still certifies that every branch was explored or
+// bounded away — just not necessarily all in this process.
+package cp
+
+import (
+	"math"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+)
+
+// ExportHandle exposes one running parallel search as a
+// backend.WorkSource. Handles are created by solveParallel when
+// Options.Exporter is set and become invalid when the search returns
+// (the exporter's release callback marks the boundary); the cluster
+// layer guarantees no calls after release.
+type ExportHandle struct {
+	r *parRun
+}
+
+// StealSubtree pops the shallowest non-root frontier frame across all
+// worker deques and returns a copy of its prefix. The root frame
+// (empty prefix) never leaves the process: exporting it would donate
+// the entire remaining search and leave the local workers idle.
+func (h *ExportHandle) StealSubtree() ([]int, bool) {
+	r := h.r
+	if r.aborted.Load() {
+		return nil, false
+	}
+	// Two passes: peek every deque's front depth without holding more
+	// than one lock, then steal from the shallowest victim. A frame
+	// pushed or stolen between the passes just means we take whatever
+	// is at that victim's front now — any exportable frame is fine,
+	// shallowest is only a preference (bigger donated subtree).
+	victim, depth := -1, math.MaxInt
+	for i, d := range r.deques {
+		if dd, ok := d.peekFrontDepth(); ok && dd > 0 && dd < depth {
+			victim, depth = i, dd
+		}
+	}
+	if victim < 0 {
+		return nil, false
+	}
+	sp := r.deques[victim].stealFrontNonRoot()
+	if sp == nil {
+		return nil, false
+	}
+	// The frame is abandoned to the GC rather than recycled: free
+	// lists are goroutine-owned and exports happen at network rate,
+	// far below the alloc budget that matters.
+	return append([]int(nil), sp.prefix...), true
+}
+
+// CompleteSubtree settles an exported subtree that a remote helper
+// fully explored. The remote best (nil = nothing improving found) is
+// offered first, then the open-subproblem counter drops; if that
+// drains the frontier the proof completes, already accounting for the
+// remote solution.
+func (h *ExportHandle) CompleteSubtree(best []int, obj float64) {
+	r := h.r
+	if best != nil && obj < r.inc.objective()-1e-12 {
+		if r.inc.offer(best, obj) {
+			r.solutions.Add(1)
+		}
+	}
+	if r.pending.Add(-1) == 0 {
+		r.stop(false) // frontier drained across nodes: proof complete
+	}
+}
+
+// RequeueSubtree returns an exported subtree to the local frontier:
+// the helper died, timed out, or gave up without exhausting it. The
+// open-subproblem count is unchanged — the caller's steal debt simply
+// transfers back to the frame, which any local worker can adopt.
+func (h *ExportHandle) RequeueSubtree(prefix []int) {
+	r := h.r
+	sp := &subproblem{prefix: append(make([]int, 0, r.c.N), prefix...)}
+	r.deques[0].pushBack(sp)
+	r.mu.Lock()
+	r.workSeq++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// validPrefix reports whether prefix is a well-formed partial order for
+// an N-index instance: every entry in range, no duplicates. Adoption
+// machinery (Walker.Sync, precedence recount) assumes this; prefixes
+// arriving over the wire are checked before the search trusts them.
+func validPrefix(n int, prefix []int) bool {
+	if len(prefix) > n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range prefix {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
+}
+
+// SolveSubtree explores only the subtree rooted at the given deployment
+// prefix: positions 0..len(prefix)-1 are taken as placed and the search
+// proves the best completion below them. Result.Proved then means "this
+// subtree is exhausted"; Result.Order/Objective report the best full
+// order found (prefix + completion), or the seeded Incumbent when
+// nothing in the subtree beats it. This is the adoption end of
+// distributed work stealing — the wire frame is just the prefix, and
+// everything else (placed set, precedence readiness, walker position)
+// is recomputed here exactly as a local thief would.
+//
+// A malformed prefix (out-of-range or duplicate indexes — possible when
+// it arrived over the wire) yields an unproved empty result rather than
+// corrupting the search.
+func SolveSubtree(c *model.Compiled, cs *constraint.Set, prefix []int, opt Options) Result {
+	if !validPrefix(c.N, prefix) {
+		return Result{Objective: math.Inf(1)}
+	}
+	if cs == nil {
+		cs = constraint.NewSet(c.N)
+	}
+	opt.RootPrefix = prefix
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	return solveParallel(c, cs, opt)
+}

@@ -1,0 +1,183 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/evolving-olap/idd/internal/constraint"
+	"github.com/evolving-olap/idd/internal/model"
+	"github.com/evolving-olap/idd/internal/randgen"
+)
+
+// TestSolveSubtreePartition proves the partition identity distributed
+// stealing relies on: the minimum over the subtree optima of every
+// feasible first deployment equals the full-tree optimum, and each
+// subtree solve is itself proved.
+func TestSolveSubtreePartition(t *testing.T) {
+	_, c := inst(31, 8)
+	full := Solve(c, nil, Options{})
+	if !full.Proved {
+		t.Fatal("full solve not proved")
+	}
+	best := math.Inf(1)
+	for i := 0; i < c.N; i++ {
+		res := SolveSubtree(c, nil, []int{i}, Options{})
+		if !res.Proved {
+			t.Fatalf("subtree [%d] not proved", i)
+		}
+		if res.Objective < best {
+			best = res.Objective
+		}
+	}
+	if math.Abs(best-full.Objective) > 1e-9*(1+full.Objective) {
+		t.Fatalf("partition minimum %v != full optimum %v", best, full.Objective)
+	}
+}
+
+// TestSolveSubtreeInvalidPrefix pins the wire-hardening behavior: a
+// malformed prefix yields an unproved empty result.
+func TestSolveSubtreeInvalidPrefix(t *testing.T) {
+	_, c := inst(32, 6)
+	for _, prefix := range [][]int{{-1}, {6}, {0, 0}, {0, 1, 2, 3, 4, 5, 0}} {
+		res := SolveSubtree(c, nil, prefix, Options{})
+		if res.Proved || res.Order != nil || !math.IsInf(res.Objective, 1) {
+			t.Fatalf("prefix %v: want unproved empty result, got %+v", prefix, res)
+		}
+	}
+}
+
+// TestExportHandleRoundTrip runs the full steal protocol in-process: a
+// thief goroutine steals frontier subtrees from a live parallel proof,
+// solves them via SolveSubtree (as a remote helper would), and settles
+// them through CompleteSubtree. The donor's proof must still complete
+// with the same objective as an undisturbed solve.
+func TestExportHandleRoundTrip(t *testing.T) {
+	// Sized so the proof runs a few hundred ms — long enough for the
+	// thief to land many steals (inst()'s defaults prove in ~1ms).
+	cfg := randgen.DefaultConfig()
+	cfg.Indexes = 16
+	cfg.Queries = 12
+	cfg.BuildInteractionProb = 0.3
+	in := randgen.New(rand.New(rand.NewSource(33)), cfg)
+	c := model.MustCompile(in)
+	ref := Solve(c, nil, Options{})
+	if !ref.Proved {
+		t.Fatal("reference solve not proved")
+	}
+
+	var (
+		mu     sync.Mutex
+		handle *ExportHandle
+		live   bool
+		stolen int
+	)
+	stop := make(chan struct{})
+	var thief sync.WaitGroup
+	thief.Add(1)
+	go func() {
+		defer thief.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			h, ok := handle, live
+			mu.Unlock()
+			if !ok {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			prefix, ok := h.StealSubtree()
+			if !ok {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			// Exercise both settlement paths: requeue every third steal
+			// (helper "gave up"), complete the rest after a subtree
+			// solve, exactly as the cluster helper does.
+			mu.Lock()
+			stolen++
+			k := stolen
+			mu.Unlock()
+			if k%3 == 0 {
+				h.RequeueSubtree(prefix)
+				continue
+			}
+			sub := SolveSubtree(c, nil, prefix, Options{Workers: 1})
+			if !sub.Proved {
+				h.RequeueSubtree(prefix)
+				continue
+			}
+			h.CompleteSubtree(sub.Order, sub.Objective)
+		}
+	}()
+
+	res := Solve(c, nil, Options{
+		Workers: 2,
+		Exporter: func(h *ExportHandle) func() {
+			mu.Lock()
+			handle, live = h, true
+			mu.Unlock()
+			return func() {
+				mu.Lock()
+				live = false
+				mu.Unlock()
+			}
+		},
+	})
+	close(stop)
+	thief.Wait()
+
+	if !res.Proved {
+		t.Fatal("donor proof did not complete under stealing")
+	}
+	if math.Abs(res.Objective-ref.Objective) > 1e-9*(1+ref.Objective) {
+		t.Fatalf("stolen-from solve objective %v != reference %v", res.Objective, ref.Objective)
+	}
+	mu.Lock()
+	n := stolen
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("thief never landed a steal — instance too easy to exercise the protocol")
+	}
+	t.Logf("thief settled %d subtrees", n)
+}
+
+// TestExportNeverDonatesRoot: the root frame must stay local — donating
+// it would hand the entire search away.
+func TestExportNeverDonatesRoot(t *testing.T) {
+	_, c := inst(34, 9)
+	cs := constraint.NewSet(c.N)
+	done := make(chan struct{})
+	var rootStolen bool
+	res := Solve(c, cs, Options{
+		Workers: 2,
+		Exporter: func(h *ExportHandle) func() {
+			go func() {
+				defer close(done)
+				for i := 0; i < 1000; i++ {
+					if p, ok := h.StealSubtree(); ok {
+						if len(p) == 0 {
+							rootStolen = true
+							return
+						}
+						h.RequeueSubtree(p)
+					}
+				}
+			}()
+			return func() {}
+		},
+	})
+	<-done
+	if rootStolen {
+		t.Fatal("steal returned the root (empty prefix) frame")
+	}
+	if !res.Proved {
+		t.Fatal("proof did not complete")
+	}
+}

@@ -109,6 +109,32 @@ func (d *deque) stealFront() *subproblem {
 	return sp
 }
 
+// peekFrontDepth reports the prefix length of the front (shallowest)
+// subproblem, for the cross-node exporter's victim choice.
+func (d *deque) peekFrontDepth() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return 0, false
+	}
+	return len(d.q[0].prefix), true
+}
+
+// stealFrontNonRoot is stealFront restricted to frames with a non-empty
+// prefix: the root frame never leaves the process (see
+// ExportHandle.StealSubtree).
+func (d *deque) stealFrontNonRoot() *subproblem {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 || len(d.q[0].prefix) == 0 {
+		return nil
+	}
+	sp := d.q[0]
+	d.q[0] = nil
+	d.q = d.q[1:]
+	return sp
+}
+
 // incumbent is the shared best-known schedule. The objective is mirrored
 // in an atomic word so the per-node prune check never locks; the order
 // and the improvement callback are guarded by the mutex, which also
@@ -396,8 +422,11 @@ func (s *searcher) dfsFrom(sp *subproblem) {
 	s.dfs(len(sp.prefix))
 }
 
-// solveParallel runs the work-stealing search. The caller guarantees
-// opt.Workers > 1 and c.N > 1.
+// solveParallel runs the work-stealing search. Callers guarantee
+// opt.Workers > 1 and c.N > 1, except SolveSubtree, which may run it
+// with a single worker (the loop degenerates to plain depth-first over
+// its own deque, which is still correct — findWork can only be reached
+// when the frontier is empty and the run about to stop).
 func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 	workers := opt.Workers
 	r := &parRun{
@@ -416,12 +445,46 @@ func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		r.inc.seed(opt.Incumbent, c.Objective(opt.Incumbent))
 	}
 
-	// Root subproblem: the empty prefix. Worker 0 picks it up first and
-	// starts splitting; the others steal as soon as siblings appear.
-	// (The root frame is heap-built here; it simply joins a worker free
-	// list when it completes, like every other frame.)
+	// Root subproblem: the RootPrefix (empty outside SolveSubtree).
+	// Worker 0 picks it up first and starts splitting; the others steal
+	// as soon as siblings appear. (The root frame is heap-built here; it
+	// simply joins a worker free list when it completes, like every
+	// other frame.)
+	root := &subproblem{prefix: make([]int, 0, c.N)}
+	root.prefix = append(root.prefix, opt.RootPrefix...)
 	r.pending.Store(1)
-	r.deques[0].pushBack(&subproblem{prefix: make([]int, 0, c.N)})
+	r.deques[0].pushBack(root)
+
+	// Cross-node export hookup. With subtrees outstanding on remote
+	// helpers the local frontier can drain while pending stays positive,
+	// parking every worker — and parked workers poll nothing, so a
+	// deadline or cancellation would otherwise never be noticed. The
+	// watchdog covers exactly that window.
+	var release func()
+	if opt.Exporter != nil {
+		release = opt.Exporter(&ExportHandle{r: r})
+		joined := make(chan struct{})
+		defer close(joined)
+		go func() {
+			var deadline <-chan time.Time
+			if !opt.Deadline.IsZero() {
+				t := time.NewTimer(time.Until(opt.Deadline))
+				defer t.Stop()
+				deadline = t.C
+			}
+			var done <-chan struct{}
+			if opt.Context != nil {
+				done = opt.Context.Done()
+			}
+			select {
+			case <-joined:
+			case <-done:
+				r.stop(true)
+			case <-deadline:
+				r.stop(true)
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for wid := 0; wid < workers; wid++ {
@@ -429,6 +492,11 @@ func solveParallel(c *model.Compiled, cs *constraint.Set, opt Options) Result {
 		go r.worker(wid, &wg)
 	}
 	wg.Wait()
+	if release != nil {
+		// After release the cluster layer stops touching the handle;
+		// outstanding exports are requeued or dropped on its side.
+		release()
+	}
 
 	order, obj := r.inc.best()
 	st := r.st // all workers joined: their flushCounters merges are visible

@@ -58,7 +58,7 @@ func (asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome
 	}
 	// No Deadline: the caller's context carries the budget and cp polls
 	// it at the same cadence a deadline would be checked at.
-	res := Solve(req.Compiled, req.Constraints, Options{
+	opts := Options{
 		NodeLimit:     req.StepLimit,
 		Context:       ctx,
 		Incumbent:     req.Initial,
@@ -68,7 +68,14 @@ func (asBackend) Solve(ctx context.Context, req backend.Request) backend.Outcome
 		SplitDepth:    req.Params.Int(ParamSplitDepth, 0),
 		Seed:          req.Seed,
 		TailBound:     tb,
-	})
+	}
+	if req.Exporter != nil {
+		// *ExportHandle satisfies backend.WorkSource; the indirection
+		// only exists so package cp's own Options need not name the
+		// backend interface.
+		opts.Exporter = func(h *ExportHandle) func() { return req.Exporter(h) }
+	}
+	res := Solve(req.Compiled, req.Constraints, opts)
 	return backend.Outcome{
 		Order: res.Order, Objective: res.Objective,
 		Proved: res.Proved, Iterations: res.Nodes, Workers: res.Workers,

@@ -234,6 +234,18 @@ type Options struct {
 	Seed int64
 	// Initial seeds the incumbent store (nil = greedy.Solve).
 	Initial []int
+	// Store, when non-nil, is used as the shared incumbent store instead
+	// of a run-private one. It must have been built with NewStore(c.N,
+	// cs) for the same instance and constraint set. The distributed
+	// cluster injects a store it also feeds remote incumbents into, so
+	// exact provers on this node prune against bests found on another.
+	Store *Store
+	// Exporter, when non-nil, is handed to every raced backend
+	// (via backend.Request.Exporter): backends with distributable
+	// searches attach a live backend.WorkSource through it so the
+	// cluster can donate frontier subtrees to idle peers. Nil outside
+	// multi-node mode.
+	Exporter func(ws backend.WorkSource) (release func())
 	// OnImprove, when non-nil, observes every change of the shared
 	// incumbent (with a copy of the order). It may be invoked from
 	// multiple backend goroutines; each call was an improvement at the
@@ -414,7 +426,10 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 		}
 	}
 
-	sh := NewStore(c.N, cs)
+	sh := opt.Store
+	if sh == nil {
+		sh = NewStore(c.N, cs)
+	}
 	initial := opt.Initial
 	if initial == nil {
 		initial = greedy.Solve(c, cs)
@@ -520,6 +535,7 @@ func Solve(ctx context.Context, c *model.Compiled, cs *constraint.Set, opt Optio
 					Publish:     publish,
 					Incumbent:   sh.BetterThan,
 					Bound:       sh.Objective,
+					Exporter:    opt.Exporter,
 				}
 				emit(ProgressEvent{Kind: ProgressBackendStarted, Backend: name,
 					Objective: sh.Objective()})

@@ -269,7 +269,10 @@ func SolveSingle(ctx context.Context, c *model.Compiled, cs *constraint.Set, nam
 		}
 	}
 
-	sh := NewStore(c.N, cs)
+	sh := opt.Store
+	if sh == nil {
+		sh = NewStore(c.N, cs)
+	}
 	initial := opt.Initial
 	if initial == nil {
 		initial = greedy.Solve(c, cs)
@@ -317,6 +320,7 @@ func SolveSingle(ctx context.Context, c *model.Compiled, cs *constraint.Set, nam
 		Publish:     publish,
 		Incumbent:   sh.BetterThan,
 		Bound:       sh.Objective,
+		Exporter:    opt.Exporter,
 	})
 	br.Wall = time.Since(start)
 	br.Objective = out.Objective

@@ -18,7 +18,7 @@
 #       the cp_parallel numbers get regenerated on multi-core hardware
 #       without redoing the evaluation-core suite; the section records
 #       its own "cpus" and "gomaxprocs" so a mixed file stays honest.
-#       Sections: cp_parallel, eval, serve, resolve.
+#       Sections: cp_parallel, eval, serve, cluster, resolve.
 #   scripts/bench.sh --section serve
 #       run the iddload serving benchmark (open-loop mixed-size tenant
 #       traffic, fast-path routing on vs disabled over the identical
@@ -28,6 +28,17 @@
 #       a 1-CPU runner understates the fast-path win (the portfolio race
 #       and the routed backend contend for the same core either way;
 #       more cores widen the gap for the race's parallel backends).
+#   scripts/bench.sh --section cluster
+#       run the iddload cluster benchmark (identical schedule against a
+#       single in-process node, then an N-node in-process cluster with
+#       round-robin submission) and merge its report under "cluster" in
+#       BENCH_serve.json (run --section serve first). Knobs:
+#       CLUSTER_NODES, SERVE_RATE, SERVE_DURATION, SERVE_SMALL_FRAC,
+#       SERVE_BUDGET, SERVE_TENANTS, SERVE_OUT. Like cp_parallel, N
+#       nodes sharing one CPU measure ~1x throughput by construction —
+#       the checked-in ratio from a 1-CPU runner records routing
+#       overhead, not scale-out; rerun across real machines (iddload
+#       -target against a deployed cluster) for the throughput curve.
 #   scripts/bench.sh --section resolve
 #       run the iddresolve drift benchmark (seeded workload drift, warm
 #       re-solve from the repaired prior plan vs cold from greedy) and
@@ -79,6 +90,52 @@ if [ "$SECTION" = serve ]; then
         -max-error-rate "${SERVE_MAX_ERROR_RATE:-0}" \
         -json "$SERVE_OUT"
 fi
+if [ "$SECTION" = cluster ]; then
+    # The cluster comparison rides in BENCH_serve.json next to the
+    # routing comparison it shares its schedule knobs with.
+    SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+    if [ ! -f "$SERVE_OUT" ]; then
+        echo "bench.sh: --section cluster merges into an existing $SERVE_OUT; run --section serve first" >&2
+        exit 2
+    fi
+    cluster_file="$(mktemp)"
+    trap 'rm -f "$cluster_file"' EXIT
+    go run ./cmd/iddload -compare-cluster \
+        -cluster-nodes "${CLUSTER_NODES:-3}" \
+        -rate "${SERVE_RATE:-60}" \
+        -duration "${SERVE_DURATION:-10s}" \
+        -small-frac "${SERVE_SMALL_FRAC:-0.88}" \
+        -budget "${SERVE_BUDGET:-100ms}" \
+        -tenants "${SERVE_TENANTS:-4}" \
+        -max-error-rate "${SERVE_MAX_ERROR_RATE:-0}" \
+        -json "$cluster_file"
+    python3 - "$SERVE_OUT" "$cluster_file" <<'EOF'
+import json, sys
+
+full_path, frag_path = sys.argv[1:3]
+with open(full_path) as f:
+    old = json.load(f)
+with open(frag_path) as f:
+    new = json.load(f)
+
+# The fragment's two runs (single_node, cluster_N) join the run list;
+# a rerun replaces its previous entries. Its own cpus ride along in the
+# summary so a mixed file stays honest.
+names = {r["name"] for r in new.get("runs", [])}
+old["runs"] = [r for r in old.get("runs", []) if r["name"] not in names]
+old["runs"] += new.get("runs", [])
+
+cluster = new.get("cluster") or {}
+cluster["cpus"] = new.get("cpus")
+cluster["gomaxprocs"] = new.get("gomaxprocs")
+old["cluster"] = cluster
+with open(full_path, "w") as f:
+    json.dump(old, f, indent=2)
+    f.write("\n")
+EOF
+    echo "merged section 'cluster' into $SERVE_OUT" >&2
+    exit 0
+fi
 if [ "$SECTION" = resolve ]; then
     # The resolve drift benchmark is generated by iddresolve and merged
     # verbatim under the "resolve" key of the baseline.
@@ -121,7 +178,7 @@ if [ -n "$SECTION" ]; then
     case "$SECTION" in
         cp_parallel) PATTERN='BenchmarkCPParallel' ;;
         eval) PATTERN='BenchmarkMoveEval|BenchmarkTable5|BenchmarkMicro_Objective|BenchmarkMicro_WalkerPushPop' ;;
-        *) echo "bench.sh: unknown section '$SECTION' (sections: cp_parallel, eval, serve, resolve)" >&2; exit 2 ;;
+        *) echo "bench.sh: unknown section '$SECTION' (sections: cp_parallel, eval, serve, cluster, resolve)" >&2; exit 2 ;;
     esac
     if [ ! -f "$OUT" ]; then
         echo "bench.sh: --section merges into an existing $OUT; run a full pass first" >&2

@@ -2,13 +2,17 @@
 # Smoke test for iddserver: start the service, POST a reduced TPC-H
 # instance, and assert a proved-optimal response plus healthy metrics;
 # then exercise the batch endpoint, a short multi-tenant iddload burst
-# (zero errors required), and the per-tenant Prometheus series.
+# (zero errors required), and the per-tenant Prometheus series. Ends
+# with a 2-process cluster round-trip: two peered servers, a solve
+# submitted to the non-owning node must be forwarded to its ring owner
+# and the replicated result served from the other node's cache.
 # Used by CI and runnable locally: ./scripts/service_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
-trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid="" node1_pid="" node2_pid=""
+trap 'kill "$server_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/iddgen" ./cmd/iddgen
 go build -o "$workdir/iddserver" ./cmd/iddserver
@@ -173,5 +177,60 @@ grep -q '^idd_warm_hint_hits_total [1-9]' "$workdir/metrics3.prom"
 # Graceful shutdown on SIGTERM.
 kill -TERM "$server_pid"
 wait "$server_pid"
+server_pid=""
+
+# Cluster round-trip: two peered server processes. A solve posted to
+# whichever node does NOT own the instance's hash must be forwarded to
+# the owner; re-posting to the other node must then hit the replicated
+# or owner-side cache. Either way both nodes return the same objective.
+addr1=127.0.0.1:18431
+addr2=127.0.0.1:18432
+peers="http://$addr1,http://$addr2"
+"$workdir/iddserver" -addr "$addr1" -advertise "http://$addr1" -peers "$peers" \
+  -workers 1 -budget 5s -max-budget 30s -gossip-interval 200ms \
+  > "$workdir/node1.log" 2>&1 &
+node1_pid=$!
+"$workdir/iddserver" -addr "$addr2" -advertise "http://$addr2" -peers "$peers" \
+  -workers 1 -budget 5s -max-budget 30s -gossip-interval 200ms \
+  > "$workdir/node2.log" 2>&1 &
+node2_pid=$!
+
+# Wait until each node's /healthz reports its peer up (the cluster
+# healthz is compact JSON, no space after the colon).
+for a in "$addr1" "$addr2"; do
+  for _ in $(seq 1 100); do
+    if curl -sf "http://$a/healthz" 2>/dev/null | grep -q '"state":"up"'; then break; fi
+    sleep 0.2
+  done
+  curl -sf "http://$a/healthz" | grep -q '"state":"up"'
+done
+
+# Same instance to both nodes: identical proved result, and the second
+# submission must be answered from a cache (forwarded single-flight or
+# replicated locally), not re-solved.
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr1/solve" > "$workdir/c1.json"
+grep -q '"proved": true' "$workdir/c1.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"$workdir/request.json" "http://$addr2/solve" > "$workdir/c2.json"
+grep -q '"proved": true' "$workdir/c2.json"
+grep -q '"cache_hit": true' "$workdir/c2.json"
+obj1=$(python3 -c "import json; print(json.load(open('$workdir/c1.json'))['objective'])")
+obj2=$(python3 -c "import json; print(json.load(open('$workdir/c2.json'))['objective'])")
+test "$obj1" = "$obj2"
+
+# Exactly one of the two nodes owns the instance: across both nodes the
+# forward counter must show the non-owner handing the request over, and
+# the cluster gauges must be in the Prometheus scrape.
+curl -sf "http://$addr1/metrics?format=prometheus" > "$workdir/n1.prom"
+curl -sf "http://$addr2/metrics?format=prometheus" > "$workdir/n2.prom"
+grep -q '^idd_cluster_peers_up 1$' "$workdir/n1.prom"
+grep -q '^idd_cluster_peers_up 1$' "$workdir/n2.prom"
+fwd=$(awk '/^idd_cluster_forwards_total /{s+=$2} END{print s+0}' "$workdir/n1.prom" "$workdir/n2.prom")
+test "$fwd" -ge 1
+
+kill -TERM "$node1_pid" "$node2_pid"
+wait "$node1_pid" "$node2_pid"
+node1_pid="" node2_pid=""
 
 echo "service smoke: OK"
